@@ -1,0 +1,29 @@
+"""Shared machinery for the benchmark files.
+
+Each file in this directory regenerates one figure/table of the paper
+(see DESIGN.md §4) under ``pytest benchmarks/ --benchmark-only``.  The
+benchmark fixture times the full experiment (one round — these are
+end-to-end simulations, not microbenchmarks) and the rendered table is
+printed so ``-s`` shows exactly the rows the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run one experiment under the benchmark timer; print its table."""
+
+    def runner(identifier: str, scale: float = 1.0):
+        result = benchmark.pedantic(
+            lambda: run_experiment(identifier, scale=scale),
+            rounds=1, iterations=1)
+        print()
+        print(result.render())
+        return result
+
+    return runner

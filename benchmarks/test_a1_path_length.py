@@ -1,0 +1,12 @@
+"""A1 (ablation): how many future branch outcomes the predictor needs.
+
+Zero path bits degenerates to a PC-only predictor; a few bits buy most
+of the coverage; too many bits fragment training across paths.
+"""
+
+
+def test_a1_path_length(run_figure):
+    result = run_figure("A1")
+    no_path_cov = result.data[0][1]
+    best_cov = max(coverage for _, coverage in result.data.values())
+    assert best_cov > no_path_cov + 0.10

@@ -1,0 +1,9 @@
+"""A2 (ablation): confidence threshold accuracy/coverage trade-off."""
+
+
+def test_a2_confidence(run_figure):
+    result = run_figure("A2")
+    low = result.data[(2, 1)]
+    high = result.data[(3, 7)]
+    assert high[0] >= low[0]        # more confidence -> more accurate
+    assert high[1] <= low[1] + 1e-9  # ... at some coverage cost

@@ -1,0 +1,13 @@
+"""A3 (ablation): recovery mechanism sensitivity.
+
+Replay recovery (re-dispatch from the ROB) is what makes elimination
+profitable; flush-based recovery gives most of the gain back.
+"""
+
+
+def test_a3_recovery(run_figure):
+    result = run_figure("A3")
+    replay = result.data["replay (default)"]
+    flush12 = result.data["flush, 12-cycle penalty"]
+    flush24 = result.data["flush, 24-cycle penalty"]
+    assert replay > flush12 > flush24

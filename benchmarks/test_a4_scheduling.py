@@ -1,0 +1,17 @@
+"""A4 (ablation): elimination underwrites aggressive scheduling.
+
+Paper claim: "our scheme frees future compilers from the need to
+consider the costs of dead instructions, enabling more aggressive code
+motion and optimization."
+"""
+
+
+def test_a4_scheduling(run_figure):
+    result = run_figure("A4")
+    # Aggressive hoisting costs the plain machine cycles...
+    assert result.data[4][1] > 1.02
+    # ... and elimination recovers a majority of that cost.
+    dead4, base4, elim4 = result.data[4]
+    assert (base4 - elim4) / (base4 - 1.0) > 0.5
+    # Deadness grows with scheduler aggressiveness.
+    assert result.data[8][0] > result.data[2][0] > result.data[0][0]

@@ -1,0 +1,14 @@
+"""A5 (ablation): compile-time DCE cannot remove dynamic deadness.
+
+The dynamically dead instructions are precisely the ones a *sound*
+compiler must keep: they are live on other paths.
+"""
+
+
+def test_a5_static_dce(run_figure):
+    result = run_figure("A5")
+    removed, plain_dead, opt_dead = result.data["suite"]
+    # The scalar passes do real (if modest) work...
+    assert removed > 0.005
+    # ... but the dynamic dead fraction barely moves.
+    assert opt_dead > 0.75 * plain_dead

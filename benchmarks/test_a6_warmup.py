@@ -1,0 +1,14 @@
+"""A6 (ablation): predictor warm-up after a cold start.
+
+A context switch costs the predictor its state; the tiny dead-static
+working set (F4) means it re-warms within a few thousand instructions.
+"""
+
+
+def test_a6_warmup(run_figure):
+    result = run_figure("A6")
+    steady = result.data["steady (pre-flush)"]
+    first = result.data["0-2k after"]
+    recovered = result.data["2k-4k after"]
+    assert first < steady          # the flush hurts...
+    assert recovered > 0.9 * steady  # ...briefly

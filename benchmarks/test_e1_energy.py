@@ -1,0 +1,12 @@
+"""E1 (extension): activity-energy reduction from elimination.
+
+The paper frames the resource reductions as a power benefit; this
+quantifies it with the activity-energy proxy model.
+"""
+
+
+def test_e1_energy(run_figure):
+    result = run_figure("E1")
+    assert result.data["average"] > 0.02
+    assert max(value for key, value in result.data.items()
+               if key != "average") > 0.08

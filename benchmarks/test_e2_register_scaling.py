@@ -1,0 +1,18 @@
+"""E2 (extension): speedup as a function of renaming headroom.
+
+Elimination is a resource play: its profit peaks where physical
+registers are scarce-but-not-starved and shrinks as headroom grows.
+"""
+
+
+def test_e2_register_scaling(run_figure):
+    result = run_figure("E2")
+    speedups = {regs: speedup for regs, (_, speedup) in
+                result.data.items()}
+    # The sweet spot beats the roomy end of the sweep.
+    assert max(speedups.values()) == max(speedups[44], speedups[48],
+                                         speedups[56])
+    assert max(speedups.values()) > speedups[160]
+    # Baseline IPC grows monotonically with headroom.
+    ipcs = [result.data[regs][0] for regs in sorted(result.data)]
+    assert all(b >= a - 1e-9 for a, b in zip(ipcs, ipcs[1:]))

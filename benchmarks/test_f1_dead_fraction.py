@@ -1,0 +1,11 @@
+"""F1: fraction of dynamically dead instructions per benchmark.
+
+Paper claim: "a non-negligible fraction -- 3 to 16% in our benchmarks
+-- of dynamically dead instructions."
+"""
+
+
+def test_f1_dead_fraction(run_figure):
+    result = run_figure("F1")
+    assert 0.02 < result.data["min"] < 0.08
+    assert 0.10 < result.data["max"] < 0.20

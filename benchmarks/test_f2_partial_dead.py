@@ -1,0 +1,10 @@
+"""F2: fully vs partially dead static instructions.
+
+Paper claim: "The majority of these instructions arise from static
+instructions that also produce useful results."
+"""
+
+
+def test_f2_partially_dead(run_figure):
+    result = run_figure("F2")
+    assert result.data["suite_share"] > 0.5

@@ -1,0 +1,16 @@
+"""F3: where dead instructions come from (-O0 vs -O2, provenance).
+
+Paper claim: "compiler optimization (specifically instruction
+scheduling) creates a significant portion of these partially dead
+static instructions."
+"""
+
+
+def test_f3_provenance(run_figure):
+    result = run_figure("F3")
+    mean_o0 = sum(result.data["o0"].values()) / len(result.data["o0"])
+    mean_o2 = sum(result.data["o2"].values()) / len(result.data["o2"])
+    assert mean_o2 > 2 * mean_o0
+    mean_sched = (sum(result.data["sched_share"].values())
+                  / len(result.data["sched_share"]))
+    assert mean_sched > 0.5

@@ -1,0 +1,14 @@
+"""F6: predictor design comparison.
+
+Paper claim: "We achieve such high accuracies by leveraging future
+control flow information (i.e., branch predictions) to distinguish
+between useless and useful instances of the same static instruction."
+"""
+
+
+def test_f6_predictor_compare(run_figure):
+    result = run_figure("F6")
+    path_acc, path_cov = result.data["path-indexed (paper)"]
+    bimodal_acc, bimodal_cov = result.data["bimodal (PC only)"]
+    assert path_cov > bimodal_cov + 0.10
+    assert path_acc > bimodal_acc

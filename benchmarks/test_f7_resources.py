@@ -1,0 +1,21 @@
+"""F7: resource-utilization reductions from elimination.
+
+Paper claim: "reductions in resource utilization averaging over 5% and
+sometimes exceeding 10%, covering physical register management
+(allocation and freeing), register file read and write traffic, and
+data cache accesses."
+"""
+
+
+def test_f7_resources(run_figure):
+    result = run_figure("F7")
+    averages = result.data["averages"]
+    # alloc / free / RF-read / RF-write averages above 5%.
+    assert averages[0] > 0.05
+    assert averages[1] > 0.05
+    assert averages[2] > 0.04
+    assert averages[3] > 0.05
+    # "Sometimes exceeding 10%."
+    best = max(max(reductions) for name, reductions in
+               result.data.items() if name != "averages")
+    assert best > 0.10

@@ -1,0 +1,6 @@
+"""T1: the simulated machine configuration table (methodology)."""
+
+
+def test_t1_machine_config(run_figure):
+    result = run_figure("T1")
+    assert result.tables[0].rows

@@ -1,0 +1,60 @@
+"""Characterize one workload the way the paper's first half does:
+dead fraction, static classes, compiler provenance, and locality.
+
+Run with::
+
+    python examples/characterize_workload.py [workload] [scale]
+
+e.g. ``python examples/characterize_workload.py board 0.5``.
+"""
+
+import sys
+
+from repro.analysis import (
+    analyze_deadness,
+    classify_statics,
+    locality_stats,
+)
+from repro.lang import CompilerOptions
+from repro.workloads import get_workload, workload_names
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "pchase"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    workload = get_workload(name)
+    print("workload: %s -- %s" % (workload.name, workload.description))
+    print("(available: %s)" % ", ".join(workload_names()))
+    print()
+
+    for opt_level in (0, 2):
+        _, trace = workload.run(CompilerOptions(opt_level=opt_level),
+                                scale=scale)
+        analysis = analyze_deadness(trace)
+        print("-O%d: %s" % (opt_level, analysis.summary()))
+
+    _, trace = workload.run(scale=scale)
+    analysis = analyze_deadness(trace)
+    classification = classify_statics(analysis)
+    print()
+    print("static classes: %d fully dead, %d partially dead, "
+          "%d never dead" % (classification.n_static_fully_dead,
+                             classification.n_static_partially_dead,
+                             classification.n_static_never_dead))
+    print("dead instances from partially dead statics: %.1f%%"
+          % (100 * classification.partial_share))
+    print("provenance of dead instances:")
+    for tag, count in sorted(classification.provenance.by_tag.items()):
+        print("  %-12s %6d  (%.1f%%)" % (
+            tag, count, 100 * classification.provenance.fraction(tag)))
+
+    locality = locality_stats(classification)
+    print()
+    print("locality: %d statics produce all dead instances; "
+          "top %d cover 80%%" % (
+              locality.n_dead_producing_statics,
+              locality.statics_for_coverage[0.8]))
+
+
+if __name__ == "__main__":
+    main()

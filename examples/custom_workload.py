@@ -1,0 +1,62 @@
+"""Bring your own benchmark: write Mini-C, compile it at -O0 and -O2,
+and watch the scheduler manufacture dead instructions.
+
+Run with::
+
+    python examples/custom_workload.py
+"""
+
+from repro.analysis import analyze_deadness, classify_statics
+from repro.emulator import run_program
+from repro.isa import disassemble_program
+from repro.lang import CompilerOptions, compile_source, compile_to_program
+
+SOURCE = """
+int samples[12] = {4, 18, 2, 25, 7, 30, 1, 16, 9, 22, 5, 28};
+int n = 12;
+
+int score(int value, int limit) {
+  int bonus;
+  if (value > limit) {
+    bonus = value * 3 - limit;
+  } else {
+    bonus = value / 2;
+  }
+  return bonus;
+}
+
+void main() {
+  int total = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    total = total + score(samples[i], 15);
+  }
+  print(total);
+}
+"""
+
+
+def main() -> None:
+    for opt_level in (0, 2):
+        options = CompilerOptions(opt_level=opt_level)
+        program = compile_to_program(SOURCE, options, name="custom")
+        machine, trace = run_program(program)
+        analysis = analyze_deadness(trace)
+        classification = classify_statics(analysis)
+        print("-O%d: output=%s  %s" % (opt_level, machine.output,
+                                       analysis.summary()))
+        sched = classification.provenance.fraction("sched")
+        print("     dead instances from the scheduler: %.1f%%"
+              % (100 * sched))
+
+    print()
+    print("hoisted instructions in the -O2 assembly "
+          "(tagged @sched by the compiler):")
+    program = compile_to_program(SOURCE, CompilerOptions(opt_level=2))
+    hoisted = [instr for instr in program.instructions
+               if instr.provenance == "sched"]
+    print(disassemble_program(hoisted))
+
+
+if __name__ == "__main__":
+    main()

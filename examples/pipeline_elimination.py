@@ -1,0 +1,60 @@
+"""Run the out-of-order timing simulator with and without
+dead-instruction elimination, on both machine configurations.
+
+Run with::
+
+    python examples/pipeline_elimination.py [workload] [scale]
+"""
+
+import sys
+
+from repro.analysis import analyze_deadness
+from repro.pipeline import contended_config, default_config, simulate
+from repro.workloads import get_workload
+
+
+def show(label, base, elim):
+    sb, se = base.stats, elim.stats
+    speedup = se.ipc / sb.ipc - 1
+
+    def drop(before, after):
+        if before == 0:
+            return "   --"
+        return "%+5.1f%%" % (100 * (after / before - 1))
+
+    print("%s:" % label)
+    print("  IPC              %6.3f -> %6.3f  (%+.1f%%)" %
+          (sb.ipc, se.ipc, 100 * speedup))
+    print("  preg allocations %6d -> %6d  (%s)" %
+          (sb.preg_allocs, se.preg_allocs,
+           drop(sb.preg_allocs, se.preg_allocs)))
+    print("  RF reads         %6d -> %6d  (%s)" %
+          (sb.rf_reads, se.rf_reads, drop(sb.rf_reads, se.rf_reads)))
+    print("  RF writes        %6d -> %6d  (%s)" %
+          (sb.rf_writes, se.rf_writes, drop(sb.rf_writes, se.rf_writes)))
+    print("  D$ accesses      %6d -> %6d  (%s)" %
+          (sb.dcache_accesses, se.dcache_accesses,
+           drop(sb.dcache_accesses, se.dcache_accesses)))
+    print("  eliminated %d (replayed %d, recoveries %d)" %
+          (se.eliminated, se.replayed, se.recoveries))
+    print()
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "pchase"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    workload = get_workload(name)
+    _, trace = workload.run(scale=scale)
+    analysis = analyze_deadness(trace)
+    print("workload %s: %d dynamic instructions, %.1f%% dead" %
+          (name, len(trace), 100 * analysis.dead_fraction))
+    print()
+
+    for factory in (default_config, contended_config):
+        base = simulate(trace, factory(), analysis)
+        elim = simulate(trace, factory(eliminate=True), analysis)
+        show("%s machine" % factory().name, base, elim)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Explore the dead-instruction predictor design space on one workload:
+table size, future-path length, and confidence threshold.
+
+Run with::
+
+    python examples/predictor_exploration.py [workload]
+"""
+
+import sys
+
+from repro.analysis import analyze_deadness
+from repro.predictors import (
+    BimodalDeadPredictor,
+    PathDeadPredictor,
+    compute_paths,
+    evaluate_predictor,
+)
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "strsearch"
+    workload = get_workload(name)
+    _, trace = workload.run()
+    analysis = analyze_deadness(trace)
+    print("workload %s: %s" % (name, analysis.summary()))
+    print()
+
+    print("table size sweep (path predictor, 3 path bits):")
+    paths = compute_paths(trace, analysis.statics, path_bits=3)
+    for entries in (128, 512, 2048, 8192):
+        predictor = PathDeadPredictor(entries=entries)
+        stats = evaluate_predictor(analysis, predictor, paths)
+        print("  %5d entries (%5.2f KB): accuracy %5.1f%%  "
+              "coverage %5.1f%%" % (entries, predictor.storage_kb(),
+                                    100 * stats.accuracy,
+                                    100 * stats.coverage))
+
+    print()
+    print("future-path length sweep (2048 entries):")
+    for path_bits in (0, 1, 2, 3, 4, 5):
+        paths = compute_paths(trace, analysis.statics,
+                              path_bits=max(path_bits, 1))
+        stats = evaluate_predictor(
+            analysis, PathDeadPredictor(path_bits=path_bits), paths)
+        print("  %d bits: accuracy %5.1f%%  coverage %5.1f%%" %
+              (path_bits, 100 * stats.accuracy, 100 * stats.coverage))
+
+    print()
+    print("baseline without any future control flow:")
+    paths = compute_paths(trace, analysis.statics, path_bits=3)
+    stats = evaluate_predictor(analysis, BimodalDeadPredictor(), paths)
+    print("  bimodal: accuracy %5.1f%%  coverage %5.1f%%" %
+          (100 * stats.accuracy, 100 * stats.coverage))
+
+
+if __name__ == "__main__":
+    main()

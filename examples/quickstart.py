@@ -1,0 +1,52 @@
+"""Quickstart: assemble, run, and find dead instructions.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.analysis import analyze_deadness
+from repro.emulator import run_program
+from repro.isa import assemble, disassemble
+
+# A tiny hand-written assembly program.  The `li t1, 99` is overwritten
+# before anyone reads it -- a dynamically dead instruction.
+SOURCE = """
+_start:
+    li   t0, 0          # accumulator
+    li   t1, 99         # dead: overwritten below before any read
+    li   t1, 1          # loop counter
+    li   t2, 6
+loop:
+    beq  t1, t2, done
+    add  t0, t0, t1
+    addi t1, t1, 1
+    j    loop
+done:
+    move a0, t0         # print(1+2+3+4+5) == 15
+    li   v0, 1
+    syscall
+    halt
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="quickstart")
+    machine, trace = run_program(program)
+    print("program output:       ", machine.output)
+    print("dynamic instructions: ", len(trace))
+
+    analysis = analyze_deadness(trace)
+    print("deadness summary:     ", analysis.summary())
+    print()
+    print("the dead instances:")
+    for i in range(len(trace)):
+        if analysis.dead[i]:
+            instr = trace.instruction(i)
+            kind = "directly" if analysis.direct[i] else "transitively"
+            print("  #%d  pc=%#06x  %-24s (%s dead)" %
+                  (i, instr.pc, disassemble(instr), kind))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro: reproduction of Butts & Sohi, "Dynamic dead-instruction
+detection and elimination" (ASPLOS 2002).
+
+The package is organized bottom-up (see DESIGN.md):
+
+* :mod:`repro.isa` — a 32-bit RISC ISA, assembler, and encoding;
+* :mod:`repro.lang` — the Mini-C optimizing compiler whose speculative
+  scheduler manufactures the paper's partially dead instructions;
+* :mod:`repro.emulator` — the architectural emulator and trace capture;
+* :mod:`repro.analysis` — exact dynamic deadness (ground truth) and the
+  characterization statistics;
+* :mod:`repro.predictors` — branch predictors and the paper's
+  path-refined dead-instruction predictor;
+* :mod:`repro.pipeline` — the out-of-order timing simulator with the
+  dead-instruction elimination mechanism;
+* :mod:`repro.workloads` — the nine-kernel benchmark suite;
+* :mod:`repro.harness` — one experiment per figure/table of the paper.
+
+Quickstart::
+
+    from repro.workloads import get_workload
+    from repro.analysis import analyze_deadness
+
+    machine, trace = get_workload("sort").run()
+    analysis = analyze_deadness(trace)
+    print(analysis.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,45 @@
+"""Exact dynamic dead-instruction analysis.
+
+This package computes the paper's ground truth: which committed dynamic
+instruction instances are *dynamically dead* (their results are never
+used), directly or transitively.  On top of the per-instance labels it
+provides the characterization statistics from the paper's first half:
+
+* :mod:`repro.analysis.liveness` — the exact backward dataflow pass
+  over a dynamic trace (direct + transitive deadness, registers and
+  memory);
+* :mod:`repro.analysis.classify` — static-instruction classification
+  (fully/partially/never dead) and provenance attribution (compiler
+  scheduling, callee-save code, original program);
+* :mod:`repro.analysis.locality` — static locality of dead instances
+  (how few static instructions produce most dead instances);
+* :mod:`repro.analysis.statics` — precomputed per-static-instruction
+  tables shared by all trace passes.
+"""
+
+from repro.analysis.distance import KillDistanceStats, kill_distances
+from repro.analysis.classify import (
+    ProvenanceBreakdown,
+    StaticClass,
+    StaticClassification,
+    classify_statics,
+)
+from repro.analysis.liveness import DeadnessAnalysis, analyze_deadness
+from repro.analysis.locality import LocalityStats, locality_stats
+from repro.analysis.statics import StaticTable
+from repro.analysis.validate import replay_trace
+
+__all__ = [
+    "DeadnessAnalysis",
+    "KillDistanceStats",
+    "LocalityStats",
+    "ProvenanceBreakdown",
+    "StaticClass",
+    "StaticClassification",
+    "StaticTable",
+    "analyze_deadness",
+    "classify_statics",
+    "kill_distances",
+    "locality_stats",
+    "replay_trace",
+]

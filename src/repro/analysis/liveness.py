@@ -1,0 +1,222 @@
+"""Exact dynamic deadness: the backward dataflow pass over a trace.
+
+Definitions (following the paper):
+
+* A dynamic instance is **directly dead** when the value it produces is
+  never read at all — its destination register is overwritten before
+  any consumer reads it (or, for the memory variant, the stored word is
+  overwritten by another store before any load).
+* A dynamic instance is **transitively dead** when its value *is* read,
+  but only by instructions that are themselves dead.
+* ``dead = directly dead ∪ transitively dead``.  Instructions with side
+  effects (stores to live locations, branches, jumps, syscalls) are
+  roots of usefulness and can never be dead; by default plain stores
+  participate fully (a store overwritten before any load is dead, and a
+  store feeding only dead loads is transitively dead).
+
+Conservative boundary conditions, matching what real hardware could
+ever know:
+
+* values still unread when the program halts are treated as **live**;
+* byte stores only partially overwrite a word, so they never kill the
+  word's liveness and are themselves always treated as live (the
+  analysis tracks memory at word granularity).
+
+The implementation is a single backward pass over the trace, O(dynamic
+instructions), using per-register liveness flags and a word-granular
+memory liveness map.  Because consumers appear after producers in the
+trace, one backward pass computes transitive deadness exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.statics import StaticTable
+from repro.emulator.trace import Trace
+from repro.isa.registers import NUM_REGS
+
+
+@dataclass
+class DeadnessAnalysis:
+    """Per-instance deadness labels and summary counts for one trace."""
+
+    trace: Trace
+    statics: StaticTable
+    #: Per dynamic instruction: is it dynamically dead?
+    dead: List[bool] = field(default_factory=list)
+    #: Per dynamic instruction: is it *directly* dead (value never read)?
+    direct: List[bool] = field(default_factory=list)
+
+    n_dynamic: int = 0
+    n_eligible: int = 0
+    n_dead: int = 0
+    n_direct: int = 0
+    n_transitive: int = 0
+    n_dead_stores: int = 0
+
+    @property
+    def dead_fraction(self) -> float:
+        """Fraction of all committed instructions that are dead."""
+        if self.n_dynamic == 0:
+            return 0.0
+        return self.n_dead / self.n_dynamic
+
+    @property
+    def direct_fraction(self) -> float:
+        if self.n_dynamic == 0:
+            return 0.0
+        return self.n_direct / self.n_dynamic
+
+    def summary(self) -> str:
+        return ("dynamic=%d dead=%d (%.2f%%: direct=%d transitive=%d) "
+                "dead-stores=%d" % (
+                    self.n_dynamic, self.n_dead,
+                    100.0 * self.dead_fraction,
+                    self.n_direct, self.n_transitive, self.n_dead_stores))
+
+
+def analyze_deadness(trace: Trace, statics: StaticTable = None,
+                     track_stores: bool = True) -> DeadnessAnalysis:
+    """Label every dynamic instruction in *trace* as dead or live.
+
+    *track_stores* controls whether word stores participate in deadness
+    (both as killable instructions and as a channel for transitive
+    deadness through memory); when False every store is a usefulness
+    root, which matches configurations where store elimination is
+    disabled.
+    """
+    if statics is None:
+        statics = StaticTable(trace.program)
+
+    pcs = trace.pcs
+    addrs = trace.addrs
+    n = len(pcs)
+
+    s_dest = statics.dest
+    s_src1 = statics.src1
+    s_src2 = statics.src2
+    s_side = statics.side_effect
+    s_load = statics.is_load
+    s_store = statics.is_store
+    s_byte = statics.is_byte
+    s_eligible = statics.eligible
+
+    dead = [False] * n
+    direct = [False] * n
+
+    # Backward state.  reg_live[r]: will the value currently in r be
+    # read by a useful instruction later in the program?  reg_touched[r]:
+    # will it be read by *any* instruction (useful or dead)?  End of
+    # program: conservatively live, hence unread values stay "live".
+    reg_live = [True] * NUM_REGS
+    reg_touched = [False] * NUM_REGS
+    mem_live: Dict[int, bool] = {}
+    mem_touched: Dict[int, bool] = {}
+
+    n_dead = n_direct = n_dead_stores = n_eligible = 0
+
+    for i in range(n - 1, -1, -1):
+        si = pcs[i] >> 2
+        dest = s_dest[si]
+        is_store = s_store[si]
+
+        if dest:
+            n_eligible += s_eligible[si]
+            value_live = reg_live[dest]
+            value_touched = reg_touched[dest]
+            useful = value_live or s_side[si]
+            # This write supersedes the previous one: reset state for
+            # the *previous* writer's value (which instructions between
+            # it and here may yet read, going further backward).
+            reg_live[dest] = False
+            reg_touched[dest] = False
+            if not useful:
+                dead[i] = True
+                n_dead += 1
+                if not value_touched:
+                    direct[i] = True
+                    n_direct += 1
+                # A dead instruction contributes no uses: do not mark
+                # its sources live (transitive propagation), but its
+                # reads are still architectural reads for "touched".
+                src = s_src1[si]
+                if src > 0:
+                    reg_touched[src] = True
+                src = s_src2[si]
+                if src > 0:
+                    reg_touched[src] = True
+                if s_load[si] and not s_byte[si]:
+                    mem_touched[addrs[i] & ~3] = True
+                continue
+            # Useful value-producing instruction: mark sources live.
+            src = s_src1[si]
+            if src > 0:
+                reg_live[src] = True
+                reg_touched[src] = True
+            src = s_src2[si]
+            if src > 0:
+                reg_live[src] = True
+                reg_touched[src] = True
+            if s_load[si]:
+                word = addrs[i] & ~3
+                mem_live[word] = True
+                mem_touched[word] = True
+            continue
+
+        if is_store:
+            if track_stores and not s_byte[si]:
+                word = addrs[i] & ~3
+                store_live = mem_live.get(word, True)
+                store_touched = mem_touched.get(word, False)
+                mem_live[word] = False
+                mem_touched[word] = False
+                if not store_live:
+                    dead[i] = True
+                    n_dead += 1
+                    n_dead_stores += 1
+                    if not store_touched:
+                        direct[i] = True
+                        n_direct += 1
+                    src = s_src1[si]
+                    if src > 0:
+                        reg_touched[src] = True
+                    src = s_src2[si]
+                    if src > 0:
+                        reg_touched[src] = True
+                    continue
+            # Live store (or byte store, always conservative): both the
+            # address and the stored value are useful.
+            src = s_src1[si]
+            if src > 0:
+                reg_live[src] = True
+                reg_touched[src] = True
+            src = s_src2[si]
+            if src > 0:
+                reg_live[src] = True
+                reg_touched[src] = True
+            continue
+
+        # No destination, not a store: branches, jumps writing nothing,
+        # syscalls, halt, nop.  Side-effecting ones are usefulness
+        # roots; their sources are live.
+        src = s_src1[si]
+        if src > 0:
+            reg_live[src] = True
+            reg_touched[src] = True
+        src = s_src2[si]
+        if src > 0:
+            reg_live[src] = True
+            reg_touched[src] = True
+
+    result = DeadnessAnalysis(trace=trace, statics=statics)
+    result.dead = dead
+    result.direct = direct
+    result.n_dynamic = n
+    result.n_eligible = n_eligible
+    result.n_dead = n_dead
+    result.n_direct = n_direct
+    result.n_transitive = n_dead - n_direct
+    result.n_dead_stores = n_dead_stores
+    return result

@@ -1,0 +1,85 @@
+"""Precomputed per-static-instruction tables.
+
+Every trace pass (deadness, predictors, the timing simulator) needs the
+same static facts about each instruction — destination register, source
+registers, side effects, memory behaviour.  Looking these up through
+:class:`~repro.isa.instructions.Instruction` objects inside a hot loop
+is slow; this module flattens them into parallel lists indexed by
+static instruction index (``pc >> 2``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.instructions import OPCODE_INFO
+from repro.isa.program import Program
+
+
+class StaticTable:
+    """Flattened static-instruction facts for one program.
+
+    Attributes are parallel lists indexed by static index:
+
+    * ``dest``: destination register number, or 0 when the instruction
+      produces no architecturally visible value (includes writes to
+      the hardwired zero register);
+    * ``src1``/``src2``: source register numbers, or -1 when unused;
+    * ``side_effect``: instruction can never be dead (stores, branches,
+      jumps, syscalls, halt);
+    * ``eligible``: candidate for dynamic deadness — produces a register
+      value and has no side effect;
+    * ``is_load``/``is_store``/``is_branch``/``is_cond_branch``: memory
+      and control classification (``is_branch`` covers jumps too);
+    * ``provenance``: compiler tag or None.
+    """
+
+    __slots__ = ("program", "opcode", "dest", "src1", "src2", "side_effect",
+                 "eligible", "is_load", "is_store", "is_branch",
+                 "is_cond_branch", "is_byte", "provenance")
+
+    def __init__(self, program: Program):
+        self.program = program
+        n = len(program.instructions)
+        self.opcode: List[int] = [0] * n
+        self.dest: List[int] = [0] * n
+        self.src1: List[int] = [-1] * n
+        self.src2: List[int] = [-1] * n
+        self.side_effect: List[bool] = [False] * n
+        self.eligible: List[bool] = [False] * n
+        self.is_load: List[bool] = [False] * n
+        self.is_store: List[bool] = [False] * n
+        self.is_branch: List[bool] = [False] * n
+        self.is_cond_branch: List[bool] = [False] * n
+        self.is_byte: List[bool] = [False] * n
+        self.provenance: List[Optional[str]] = [None] * n
+
+        from repro.isa.instructions import Opcode
+
+        byte_ops = (Opcode.LB, Opcode.LBU, Opcode.SB)
+        for index, instr in enumerate(program.instructions):
+            info = OPCODE_INFO[instr.opcode]
+            self.opcode[index] = int(instr.opcode)
+            dest = instr.dest
+            self.dest[index] = dest if dest is not None else 0
+            if info.reads_rs1:
+                self.src1[index] = instr.rs1
+            if info.reads_rs2:
+                self.src2[index] = instr.rs2
+            if instr.opcode == Opcode.SYSCALL:
+                # Syscalls implicitly read the selector (v0) and the
+                # argument (a0); the liveness pass must see those reads.
+                self.src1[index], self.src2[index] = 5, 7
+            self.side_effect[index] = info.has_side_effect or info.is_system
+            self.eligible[index] = (
+                dest is not None and not info.has_side_effect
+                and not info.is_system)
+            self.is_load[index] = info.is_load
+            self.is_store[index] = info.is_store
+            self.is_branch[index] = info.is_control
+            self.is_cond_branch[index] = info.is_branch
+            self.is_byte[index] = instr.opcode in byte_ops
+            self.provenance[index] = instr.provenance
+
+    def __len__(self) -> int:
+        return len(self.opcode)

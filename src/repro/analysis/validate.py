@@ -1,0 +1,178 @@
+"""Independent trace replay: the analysis's soundness check.
+
+:func:`replay_trace` re-executes a recorded trace with a second,
+independent implementation of the instruction semantics (values only —
+control flow is taken from the trace).  Its two uses:
+
+* differential testing of the emulator (replaying with no skips must
+  reproduce the program's output), and
+* the soundness theorem of the deadness analysis: **skipping every
+  dynamically dead instruction must leave the output unchanged** —
+  which is, after all, the definition the whole paper rests on.
+
+Skipped instructions leave their destination register (or memory word)
+holding whatever was there before, exactly as elimination hardware
+would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.emulator.trace import Trace
+from repro.isa.instructions import Opcode
+from repro.isa.program import DATA_BASE, STACK_BASE
+from repro.isa.registers import GP, SP
+
+_M32 = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def replay_trace(trace: Trace,
+                 skip: Optional[Sequence[bool]] = None) -> List[object]:
+    """Replay *trace*; return the program output it produces.
+
+    *skip* marks dynamic instructions whose execution is suppressed
+    (their register/memory writes simply do not happen).
+    """
+    program = trace.program
+    regs = [0] * 32
+    regs[SP] = STACK_BASE
+    regs[GP] = DATA_BASE
+    memory: Dict[int, int] = dict(program.data)
+    output: List[object] = []
+    op = Opcode
+
+    for i in range(len(trace)):
+        if skip is not None and skip[i]:
+            continue
+        instr = trace.instruction(i)
+        opcode = instr.opcode
+        if opcode <= op.REM:
+            a, b = regs[instr.rs1], regs[instr.rs2]
+            value = _alu(opcode, a, b)
+        elif opcode <= op.LUI:
+            a = regs[instr.rs1]
+            value = _alu_imm(opcode, a, instr.imm)
+        elif opcode <= op.SB:
+            addr = trace.addrs[i]
+            if opcode == op.LW:
+                value = memory.get(addr, 0)
+            elif opcode == op.LB:
+                value = _load_byte(memory, addr)
+                if value & 0x80:
+                    value |= 0xFFFFFF00
+            elif opcode == op.LBU:
+                value = _load_byte(memory, addr)
+            elif opcode == op.SW:
+                memory[addr] = regs[instr.rs2]
+                continue
+            else:  # SB
+                _store_byte(memory, addr, regs[instr.rs2])
+                continue
+        elif opcode == op.JAL:
+            regs[1] = instr.pc + 4
+            continue
+        elif opcode == op.JALR:
+            if instr.rd:
+                regs[instr.rd] = instr.pc + 4
+            continue
+        elif opcode == op.SYSCALL:
+            selector = regs[5]
+            if selector == 1:
+                output.append(_signed(regs[7]))
+            elif selector == 2:
+                output.append(chr(regs[7] & 0xFF))
+            continue
+        else:
+            # Branches, J, NOP, HALT: no register effects; control
+            # flow is already encoded in the trace order.
+            continue
+        if instr.rd:
+            regs[instr.rd] = value
+    return output
+
+
+def _alu(opcode: Opcode, a: int, b: int) -> int:
+    op = Opcode
+    if opcode == op.ADD:
+        return (a + b) & _M32
+    if opcode == op.SUB:
+        return (a - b) & _M32
+    if opcode == op.AND:
+        return a & b
+    if opcode == op.OR:
+        return a | b
+    if opcode == op.XOR:
+        return a ^ b
+    if opcode == op.NOR:
+        return ~(a | b) & _M32
+    if opcode == op.SLLV:
+        return (a << (b & 31)) & _M32
+    if opcode == op.SRLV:
+        return a >> (b & 31)
+    if opcode == op.SRAV:
+        return (_signed(a) >> (b & 31)) & _M32
+    if opcode == op.SLT:
+        return int(_signed(a) < _signed(b))
+    if opcode == op.SLTU:
+        return int(a < b)
+    if opcode == op.MUL:
+        return (a * b) & _M32
+    if opcode == op.MULH:
+        return ((_signed(a) * _signed(b)) >> 32) & _M32
+    if opcode == op.DIV:
+        if b == 0:
+            return _M32
+        sa, sb = _signed(a), _signed(b)
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        return quotient & _M32
+    # REM
+    if b == 0:
+        return a
+    sa, sb = _signed(a), _signed(b)
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return remainder & _M32
+
+
+def _alu_imm(opcode: Opcode, a: int, imm: int) -> int:
+    op = Opcode
+    if opcode == op.ADDI:
+        return (a + imm) & _M32
+    if opcode == op.ANDI:
+        return a & imm
+    if opcode == op.ORI:
+        return a | imm
+    if opcode == op.XORI:
+        return a ^ imm
+    if opcode == op.SLTI:
+        return int(_signed(a) < imm)
+    if opcode == op.SLTIU:
+        return int(a < (imm & _M32))
+    if opcode == op.SLLI:
+        return (a << (imm & 31)) & _M32
+    if opcode == op.SRLI:
+        return a >> (imm & 31)
+    if opcode == op.SRAI:
+        return (_signed(a) >> (imm & 31)) & _M32
+    # LUI
+    return (imm << 16) & _M32
+
+
+def _load_byte(memory: Dict[int, int], address: int) -> int:
+    word = memory.get(address & ~3, 0)
+    return (word >> ((address & 3) * 8)) & 0xFF
+
+
+def _store_byte(memory: Dict[int, int], address: int, value: int) -> None:
+    base = address & ~3
+    shift = (address & 3) * 8
+    word = memory.get(base, 0)
+    memory[base] = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)

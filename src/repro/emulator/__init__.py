@@ -1,0 +1,15 @@
+"""Architectural (functional) emulator for the repro ISA.
+
+:class:`~repro.emulator.machine.Machine` executes a
+:class:`~repro.isa.program.Program` to completion, optionally recording
+a :class:`~repro.emulator.trace.Trace` of the committed instruction
+stream.  The trace is the substrate for everything downstream: the
+offline dead-instruction analysis, the predictors, and the trace-driven
+timing simulator.
+"""
+
+from repro.emulator.machine import EmulationError, Machine, run_program
+from repro.emulator.memory import Memory
+from repro.emulator.trace import Trace
+
+__all__ = ["EmulationError", "Machine", "Memory", "Trace", "run_program"]

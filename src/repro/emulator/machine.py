@@ -1,0 +1,273 @@
+"""The architectural machine: functional execution with tracing.
+
+Semantics summary (values are 32-bit, stored unsigned):
+
+* Arithmetic wraps modulo 2**32; ``mulh`` returns the signed high word.
+* ``div``/``rem`` are signed with truncation toward zero; division by
+  zero yields ``0xFFFFFFFF`` / the dividend (RISC-V convention).
+* Shifts use the low five bits of the shift amount.
+* ``slt``/``blt``/``bge`` compare signed; the ``u`` variants unsigned.
+* Loads/stores: ``lw``/``sw`` require 4-byte alignment; ``lb`` sign
+  extends, ``lbu`` zero extends.
+* ``syscall`` dispatches on ``v0``: 1 prints the signed integer in
+  ``a0`` to :attr:`Machine.output`, 2 prints ``chr(a0)``, 10 halts.
+* Writes to register 0 are discarded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.emulator.memory import Memory
+from repro.emulator.trace import Trace
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, STACK_BASE, TEXT_BASE
+from repro.isa.registers import NUM_REGS, SP, GP, V0, A0
+
+_M32 = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+
+class EmulationError(RuntimeError):
+    """Raised for architectural faults (bad pc, alignment, syscall)."""
+
+
+class StepLimitExceeded(EmulationError):
+    """Raised when a run exceeds its instruction budget."""
+
+
+def _signed(value: int) -> int:
+    return value - 0x100000000 if value & _SIGN else value
+
+
+class Machine:
+    """Architectural state plus the execution loop.
+
+    ``output`` collects the program's printed values (integers from
+    syscall 1, single-character strings from syscall 2) so workloads can
+    be checked for correctness without any I/O.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.regs: List[int] = [0] * NUM_REGS
+        self.regs[SP] = STACK_BASE
+        from repro.isa.program import DATA_BASE
+
+        self.regs[GP] = DATA_BASE
+        self.pc = program.entry
+        self.memory = Memory(program.data)
+        self.halted = False
+        self.output: List[object] = []
+        self.instructions_executed = 0
+
+    def step(self) -> None:
+        """Execute exactly one instruction (no tracing)."""
+        self.run(max_steps=1, trace=None, _raise_on_limit=False)
+
+    def run(self, max_steps: int = 10_000_000,
+            trace: Optional[Trace] = None,
+            _raise_on_limit: bool = True) -> int:
+        """Run until halt or *max_steps* instructions; return the count.
+
+        When *trace* is given, every committed instruction is appended
+        to it.  Raises :class:`StepLimitExceeded` if the budget runs out
+        before the program halts (a sign of an unintended infinite
+        loop), unless invoked via :meth:`step`.
+        """
+        instructions = self.program.instructions
+        n_instructions = len(instructions)
+        regs = self.regs
+        memory = self.memory
+        pc = self.pc
+        executed = 0
+        op = Opcode  # local alias for fast comparisons
+
+        while executed < max_steps:
+            index = (pc - TEXT_BASE) >> 2
+            if pc & 3 or not 0 <= index < n_instructions:
+                self.pc = pc
+                raise EmulationError("fetch from invalid pc %#x" % pc)
+            instr = instructions[index]
+            opcode = instr.opcode
+            next_pc = pc + 4
+            taken = False
+            addr = -1
+
+            if opcode <= op.REM:  # R-format ALU
+                a = regs[instr.rs1]
+                b = regs[instr.rs2]
+                if opcode == op.ADD:
+                    value = (a + b) & _M32
+                elif opcode == op.SUB:
+                    value = (a - b) & _M32
+                elif opcode == op.AND:
+                    value = a & b
+                elif opcode == op.OR:
+                    value = a | b
+                elif opcode == op.XOR:
+                    value = a ^ b
+                elif opcode == op.NOR:
+                    value = ~(a | b) & _M32
+                elif opcode == op.SLLV:
+                    value = (a << (b & 31)) & _M32
+                elif opcode == op.SRLV:
+                    value = a >> (b & 31)
+                elif opcode == op.SRAV:
+                    value = (_signed(a) >> (b & 31)) & _M32
+                elif opcode == op.SLT:
+                    value = 1 if _signed(a) < _signed(b) else 0
+                elif opcode == op.SLTU:
+                    value = 1 if a < b else 0
+                elif opcode == op.MUL:
+                    value = (a * b) & _M32
+                elif opcode == op.MULH:
+                    value = ((_signed(a) * _signed(b)) >> 32) & _M32
+                elif opcode == op.DIV:
+                    if b == 0:
+                        value = _M32
+                    else:
+                        sa, sb = _signed(a), _signed(b)
+                        quotient = abs(sa) // abs(sb)
+                        if (sa < 0) != (sb < 0):
+                            quotient = -quotient
+                        value = quotient & _M32
+                else:  # REM
+                    if b == 0:
+                        value = a
+                    else:
+                        sa, sb = _signed(a), _signed(b)
+                        remainder = abs(sa) % abs(sb)
+                        if sa < 0:
+                            remainder = -remainder
+                        value = remainder & _M32
+                if instr.rd:
+                    regs[instr.rd] = value
+
+            elif opcode <= op.LUI:  # I-format ALU
+                a = regs[instr.rs1]
+                imm = instr.imm
+                if opcode == op.ADDI:
+                    value = (a + imm) & _M32
+                elif opcode == op.ANDI:
+                    value = a & imm
+                elif opcode == op.ORI:
+                    value = a | imm
+                elif opcode == op.XORI:
+                    value = a ^ imm
+                elif opcode == op.SLTI:
+                    value = 1 if _signed(a) < imm else 0
+                elif opcode == op.SLTIU:
+                    value = 1 if a < (imm & _M32) else 0
+                elif opcode == op.SLLI:
+                    value = (a << (imm & 31)) & _M32
+                elif opcode == op.SRLI:
+                    value = a >> (imm & 31)
+                elif opcode == op.SRAI:
+                    value = (_signed(a) >> (imm & 31)) & _M32
+                else:  # LUI
+                    value = (imm << 16) & _M32
+                if instr.rd:
+                    regs[instr.rd] = value
+
+            elif opcode <= op.SB:  # memory
+                addr = (regs[instr.rs1] + instr.imm) & _M32
+                if opcode == op.LW:
+                    value = memory.load_word(addr)
+                    if instr.rd:
+                        regs[instr.rd] = value
+                elif opcode == op.LB:
+                    value = memory.load_byte(addr)
+                    if value & 0x80:
+                        value |= 0xFFFFFF00
+                    if instr.rd:
+                        regs[instr.rd] = value
+                elif opcode == op.LBU:
+                    if instr.rd:
+                        regs[instr.rd] = memory.load_byte(addr)
+                elif opcode == op.SW:
+                    memory.store_word(addr, regs[instr.rs2])
+                else:  # SB
+                    memory.store_byte(addr, regs[instr.rs2])
+
+            elif opcode <= op.BGEU:  # branches
+                a = regs[instr.rs1]
+                b = regs[instr.rs2]
+                if opcode == op.BEQ:
+                    taken = a == b
+                elif opcode == op.BNE:
+                    taken = a != b
+                elif opcode == op.BLT:
+                    taken = _signed(a) < _signed(b)
+                elif opcode == op.BGE:
+                    taken = _signed(a) >= _signed(b)
+                elif opcode == op.BLTU:
+                    taken = a < b
+                else:  # BGEU
+                    taken = a >= b
+                if taken:
+                    next_pc = pc + 4 + instr.imm
+
+            elif opcode == op.J:
+                next_pc = instr.imm << 2
+                taken = True
+            elif opcode == op.JAL:
+                regs[1] = pc + 4
+                next_pc = instr.imm << 2
+                taken = True
+            elif opcode == op.JALR:
+                target = regs[instr.rs1]
+                if instr.rd:
+                    regs[instr.rd] = pc + 4
+                next_pc = target
+                taken = True
+            elif opcode == op.NOP:
+                pass
+            elif opcode == op.HALT:
+                self.halted = True
+            else:  # SYSCALL
+                self._syscall(regs)
+                if self.halted:
+                    pass
+
+            executed += 1
+            if trace is not None:
+                trace.append(pc, taken, addr)
+            pc = next_pc
+            if self.halted:
+                break
+
+        self.pc = pc
+        self.instructions_executed += executed
+        if not self.halted and executed >= max_steps and _raise_on_limit:
+            raise StepLimitExceeded(
+                "program did not halt within %d instructions" % max_steps)
+        return executed
+
+    def _syscall(self, regs: List[int]) -> None:
+        selector = regs[V0]
+        if selector == 1:
+            self.output.append(_signed(regs[A0]))
+        elif selector == 2:
+            self.output.append(chr(regs[A0] & 0xFF))
+        elif selector == 10:
+            self.halted = True
+        else:
+            raise EmulationError("unknown syscall selector %d" % selector)
+
+
+def run_program(program: Program, max_steps: int = 10_000_000,
+                want_trace: bool = True) -> "tuple[Machine, Trace]":
+    """Run *program* to completion; return the machine and its trace.
+
+    Convenience wrapper used throughout the experiments: every workload
+    is executed exactly once and the resulting trace feeds the analysis,
+    predictor, and timing layers.
+    """
+    machine = Machine(program)
+    trace = Trace(program) if want_trace else None
+    machine.run(max_steps=max_steps, trace=trace)
+    if not machine.halted:
+        raise StepLimitExceeded(
+            "program did not halt within %d instructions" % max_steps)
+    return machine, trace if trace is not None else Trace(program)

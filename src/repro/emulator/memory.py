@@ -1,0 +1,60 @@
+"""Sparse byte-addressable memory backed by a word dictionary.
+
+Words are stored little-endian as unsigned 32-bit integers keyed by
+their (4-byte-aligned) address.  Unwritten memory reads as zero, which
+keeps program startup simple (the BSS is implicitly zeroed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+
+class Memory:
+    """Word-granular sparse memory with byte accessors."""
+
+    __slots__ = ("_words", "limit")
+
+    def __init__(self, initial: Dict[int, int] = None, limit: int = 1 << 24):
+        self._words: Dict[int, int] = dict(initial) if initial else {}
+        self.limit = limit
+
+    def _check(self, address: int, size: int) -> None:
+        if address < 0 or address + size > self.limit:
+            raise IndexError("memory access out of range: %#x" % address)
+
+    def load_word(self, address: int) -> int:
+        """Load the 32-bit word at 4-aligned *address*."""
+        if address & 3:
+            raise ValueError("unaligned word load at %#x" % address)
+        self._check(address, 4)
+        return self._words.get(address, 0)
+
+    def store_word(self, address: int, value: int) -> None:
+        """Store 32-bit *value* at 4-aligned *address*."""
+        if address & 3:
+            raise ValueError("unaligned word store at %#x" % address)
+        self._check(address, 4)
+        self._words[address] = value & 0xFFFFFFFF
+
+    def load_byte(self, address: int) -> int:
+        """Load the unsigned byte at *address*."""
+        self._check(address, 1)
+        word = self._words.get(address & ~3, 0)
+        return (word >> ((address & 3) * 8)) & 0xFF
+
+    def store_byte(self, address: int, value: int) -> None:
+        """Store the low 8 bits of *value* at *address*."""
+        self._check(address, 1)
+        base = address & ~3
+        shift = (address & 3) * 8
+        word = self._words.get(base, 0)
+        word = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+        self._words[base] = word
+
+    def words(self) -> Iterable[Tuple[int, int]]:
+        """Iterate over (address, value) pairs of nonzero words."""
+        return self._words.items()
+
+    def __len__(self) -> int:
+        return len(self._words)

@@ -1,0 +1,53 @@
+"""Dynamic instruction traces.
+
+A :class:`Trace` records the committed instruction stream of one
+program run in structure-of-arrays form (parallel Python lists), which
+is both the fastest representation for the analysis passes and the
+lightest in memory for the 10^5-instruction runs the experiments use.
+
+For dynamic instruction *i*:
+
+* ``pcs[i]``   — byte address of the instruction (static identity),
+* ``taken[i]`` — branch outcome (False for non-branches),
+* ``addrs[i]`` — effective memory address (-1 for non-memory ops).
+
+Static properties (opcode, registers read/written, side effects) are
+looked up through the owning :class:`~repro.isa.program.Program`; use
+:meth:`Trace.static_index` or the precomputed tables in
+:class:`repro.analysis.statics.StaticTable` for bulk passes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program, TEXT_BASE
+
+
+class Trace:
+    """The committed dynamic instruction stream of one program run."""
+
+    __slots__ = ("program", "pcs", "taken", "addrs")
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.pcs: List[int] = []
+        self.taken: List[bool] = []
+        self.addrs: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def append(self, pc: int, taken: bool, addr: int) -> None:
+        self.pcs.append(pc)
+        self.taken.append(taken)
+        self.addrs.append(addr)
+
+    def static_index(self, i: int) -> int:
+        """Index into ``program.instructions`` of dynamic instruction *i*."""
+        return (self.pcs[i] - TEXT_BASE) >> 2
+
+    def instruction(self, i: int) -> Instruction:
+        """The static instruction behind dynamic instruction *i*."""
+        return self.program.instructions[self.static_index(i)]

@@ -1,0 +1,29 @@
+"""Experiment harness: one function per figure/table of the paper.
+
+Each experiment function returns an
+:class:`~repro.harness.experiments.ExperimentResult` whose ``table``
+renders the same rows/series the paper reports and whose ``data`` holds
+the raw numbers for tests and further analysis.  ``python -m
+repro.harness`` runs any subset from the command line; the files in
+``benchmarks/`` wrap each experiment for ``pytest-benchmark``.
+
+Experiment ids (see DESIGN.md §4): F1-F8 are reconstructed figures,
+T1 the machine-configuration table, A1-A3 ablations.
+"""
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.harness.runs import SuiteRun, suite_runs
+from repro.harness.tables import Table
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "SuiteRun",
+    "Table",
+    "run_experiment",
+    "suite_runs",
+]

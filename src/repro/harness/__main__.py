@@ -1,0 +1,7 @@
+"""``python -m repro.harness`` dispatch."""
+
+import sys
+
+from repro.harness.cli import main
+
+sys.exit(main())

@@ -1,0 +1,69 @@
+"""Command-line entry point: ``python -m repro.harness [ids...]``.
+
+Examples::
+
+    python -m repro.harness              # run everything
+    python -m repro.harness F1 F5 F8     # selected experiments
+    python -m repro.harness F8 --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate the paper's figures and tables.")
+    parser.add_argument("experiments", nargs="*",
+                        metavar="ID",
+                        help="experiment ids (%s); default: all"
+                        % ", ".join(ALL_EXPERIMENTS))
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier (default 1.0)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also dump every experiment's raw data to "
+                             "a JSON file")
+    args = parser.parse_args(argv)
+
+    ids = [identifier.upper() for identifier in args.experiments] \
+        or list(ALL_EXPERIMENTS)
+    unknown = [identifier for identifier in ids
+               if identifier not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error("unknown experiment ids: %s" % ", ".join(unknown))
+
+    dumps = {}
+    for identifier in ids:
+        started = time.time()
+        result = run_experiment(identifier, scale=args.scale)
+        print(result.render())
+        print("[%s finished in %.1fs]" % (identifier,
+                                          time.time() - started))
+        print()
+        if args.json:
+            dumps[identifier] = {
+                "title": result.title,
+                "tables": [{"title": table.title,
+                            "columns": table.columns,
+                            "rows": table.rows}
+                           for table in result.tables],
+            }
+    if args.json:
+        import json
+
+        with open(args.json, "w") as stream:
+            json.dump({"scale": args.scale, "experiments": dumps},
+                      stream, indent=2)
+        print("wrote %s" % args.json)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

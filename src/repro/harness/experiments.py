@@ -1,0 +1,748 @@
+"""The experiments: one function per figure/table (DESIGN.md §4).
+
+Every function takes a ``scale`` (workload size multiplier, 1.0 =
+default inputs) and returns an :class:`ExperimentResult`.  The tables
+mirror what the paper reports; EXPERIMENTS.md records paper-vs-measured
+for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.analysis import classify_statics, locality_stats
+from repro.harness.runs import SuiteRun, suite_runs
+from repro.harness.tables import Table, percent, signed_percent
+from repro.pipeline import (
+    MachineConfig,
+    contended_config,
+    default_config,
+    simulate,
+)
+from repro.predictors import (
+    BimodalDeadPredictor,
+    HistoryDeadPredictor,
+    DeadPredictionStats,
+    OracleDeadPredictor,
+    PathDeadPredictor,
+    ProfileDeadPredictor,
+    compute_paths,
+    evaluate_predictor,
+)
+from repro.predictors.dead.table import SignatureDeadPredictor
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered tables plus raw data for one experiment."""
+
+    id: str
+    title: str
+    tables: List[Table] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        header = "== %s: %s ==" % (self.id, self.title)
+        return "\n\n".join([header] + [table.render()
+                                       for table in self.tables])
+
+
+# ---------------------------------------------------------------------
+# Characterization (F1-F4)
+# ---------------------------------------------------------------------
+
+
+def f1_dead_fraction(scale: float = 1.0) -> ExperimentResult:
+    """F1: fraction of committed instructions that are dynamically dead.
+
+    Paper claim: 3-16% across benchmarks.
+    """
+    table = Table("Dynamically dead instructions (percent of committed)",
+                  ["benchmark", "dynamic", "dead%", "direct%",
+                   "transitive%", "dead stores"])
+    fractions: Dict[str, float] = {}
+    total_dyn = total_dead = 0
+    for run in suite_runs(scale):
+        analysis = run.analysis
+        fractions[run.workload.name] = analysis.dead_fraction
+        total_dyn += analysis.n_dynamic
+        total_dead += analysis.n_dead
+        table.add_row(run.workload.name, analysis.n_dynamic,
+                      percent(analysis.dead_fraction),
+                      percent(analysis.direct_fraction),
+                      percent((analysis.n_transitive)
+                              / max(analysis.n_dynamic, 1)),
+                      analysis.n_dead_stores)
+    average = total_dead / max(total_dyn, 1)
+    table.add_row("suite", total_dyn, percent(average), "", "", "")
+    return ExperimentResult(
+        id="F1", title="dynamically dead instruction fraction",
+        tables=[table],
+        data={"fractions": fractions, "average": average,
+              "min": min(fractions.values()),
+              "max": max(fractions.values())})
+
+
+def f2_partially_dead(scale: float = 1.0) -> ExperimentResult:
+    """F2: most dead instances come from partially dead statics.
+
+    Paper claim: the majority of dead instances arise from static
+    instructions that also produce useful results.
+    """
+    table = Table("Static-instruction deadness classes",
+                  ["benchmark", "statics", "fully dead", "partially dead",
+                   "never dead", "dead inst. from partial"])
+    shares: Dict[str, float] = {}
+    total_dead = total_from_partial = 0
+    for run in suite_runs(scale):
+        classification = classify_statics(run.analysis)
+        shares[run.workload.name] = classification.partial_share
+        total_dead += classification.n_dead_instances
+        total_from_partial += classification.n_dead_from_partial
+        table.add_row(run.workload.name,
+                      classification.n_static_executed,
+                      classification.n_static_fully_dead,
+                      classification.n_static_partially_dead,
+                      classification.n_static_never_dead,
+                      percent(classification.partial_share))
+    suite_share = total_from_partial / max(total_dead, 1)
+    table.add_row("suite", "", "", "", "", percent(suite_share))
+    return ExperimentResult(
+        id="F2", title="partially dead static instructions",
+        tables=[table],
+        data={"shares": shares, "suite_share": suite_share})
+
+
+def f3_provenance(scale: float = 1.0) -> ExperimentResult:
+    """F3: compiler scheduling manufactures dead instructions.
+
+    Paper claim: compiler optimization (specifically instruction
+    scheduling) creates a significant portion of partially dead
+    statics.  Compares -O0 (no hoisting) against -O2 and attributes
+    dead instances to compiler provenance.
+    """
+    table = Table("Dead fraction by optimization level and provenance",
+                  ["benchmark", "dead% -O0", "dead% -O2", "sched%",
+                   "callee-save%", "original%"])
+    o0 = {run.workload.name: run.analysis.dead_fraction
+          for run in suite_runs(scale, opt_level=0)}
+    data: Dict[str, object] = {"o0": o0, "o2": {}, "sched_share": {}}
+    for run in suite_runs(scale, opt_level=2):
+        name = run.workload.name
+        classification = classify_statics(run.analysis)
+        provenance = classification.provenance
+        data["o2"][name] = run.analysis.dead_fraction
+        data["sched_share"][name] = provenance.fraction("sched")
+        table.add_row(name, percent(o0[name]),
+                      percent(run.analysis.dead_fraction),
+                      percent(provenance.fraction("sched")),
+                      percent(provenance.fraction("callee-save")),
+                      percent(provenance.fraction("original")))
+    return ExperimentResult(
+        id="F3", title="provenance of dead instructions",
+        tables=[table], data=data)
+
+
+def f4_locality(scale: float = 1.0) -> ExperimentResult:
+    """F4: a small set of statics produces most dead instances."""
+    table = Table("Static locality of dead instances",
+                  ["benchmark", "dead-producing statics",
+                   "statics for 50%", "for 80%", "for 90%",
+                   "80% as share of executed statics"])
+    data: Dict[str, object] = {}
+    for run in suite_runs(scale):
+        classification = classify_statics(run.analysis)
+        locality = locality_stats(classification)
+        name = run.workload.name
+        data[name] = locality
+        table.add_row(name, locality.n_dead_producing_statics,
+                      locality.statics_for_coverage[0.5],
+                      locality.statics_for_coverage[0.8],
+                      locality.statics_for_coverage[0.9],
+                      percent(locality.statics_fraction(0.8)))
+    return ExperimentResult(
+        id="F4", title="static locality of dead instances",
+        tables=[table], data=data)
+
+
+# ---------------------------------------------------------------------
+# Prediction (F5, F6)
+# ---------------------------------------------------------------------
+
+
+def _suite_predictor_stats(runs: List[SuiteRun], make_predictor,
+                           path_bits: int) -> DeadPredictionStats:
+    """Aggregate accuracy/coverage over the suite; a fresh predictor
+    per workload (the paper evaluates benchmarks independently)."""
+    stats = DeadPredictionStats()
+    for run in runs:
+        paths = compute_paths(run.trace, run.analysis.statics,
+                              path_bits=path_bits)
+        predictor = make_predictor(run)
+        evaluate_predictor(run.analysis, predictor, paths, stats)
+    return stats
+
+
+def f5_predictor_sweep(scale: float = 1.0) -> ExperimentResult:
+    """F5: accuracy and coverage versus predictor state budget.
+
+    Paper claim: 93% accuracy while identifying over 91% of dead
+    instructions in under 5 KB of state.
+    """
+    table = Table("Path predictor: accuracy/coverage vs state",
+                  ["entries", "state (KB)", "accuracy", "coverage"])
+    runs = suite_runs(scale)
+    data: Dict[int, object] = {}
+    for entries in (256, 512, 1024, 2048, 4096, 8192):
+        stats = _suite_predictor_stats(
+            runs, lambda run: PathDeadPredictor(entries=entries),
+            path_bits=3)
+        state_kb = PathDeadPredictor(entries=entries).storage_kb()
+        data[entries] = (state_kb, stats.accuracy, stats.coverage)
+        table.add_row(entries, "%.2f" % state_kb,
+                      percent(stats.accuracy), percent(stats.coverage))
+    return ExperimentResult(
+        id="F5", title="predictor accuracy/coverage vs state budget",
+        tables=[table], data=data)
+
+
+def f6_predictor_compare(scale: float = 1.0) -> ExperimentResult:
+    """F6: future control flow is what makes the predictor work.
+
+    Compares the PC-only bimodal baseline, the single-signature design,
+    the paper's path-indexed predictor, and the oracle.
+    """
+    runs = suite_runs(scale)
+    designs = [
+        ("profile (ideal static)",
+         lambda run: ProfileDeadPredictor(run.analysis), 0.0),
+        ("bimodal (PC only)",
+         lambda run: BimodalDeadPredictor(),
+         BimodalDeadPredictor().storage_kb()),
+        ("past-history indexed",
+         lambda run: HistoryDeadPredictor(),
+         HistoryDeadPredictor().storage_kb()),
+        ("signature (1 path/PC)",
+         lambda run: SignatureDeadPredictor(),
+         SignatureDeadPredictor().storage_kb()),
+        ("path-indexed (paper)",
+         lambda run: PathDeadPredictor(),
+         PathDeadPredictor().storage_kb()),
+        ("oracle",
+         lambda run: OracleDeadPredictor(run.analysis.dead), 0.0),
+    ]
+    table = Table("Predictor design comparison (suite aggregate)",
+                  ["design", "state (KB)", "accuracy", "coverage"])
+    data: Dict[str, object] = {}
+    for name, factory, state_kb in designs:
+        stats = _suite_predictor_stats(runs, factory, path_bits=3)
+        data[name] = (stats.accuracy, stats.coverage)
+        table.add_row(name, "%.2f" % state_kb,
+                      percent(stats.accuracy), percent(stats.coverage))
+    return ExperimentResult(
+        id="F6", title="predictor design comparison",
+        tables=[table], data=data)
+
+
+# ---------------------------------------------------------------------
+# Elimination (F7, F8)
+# ---------------------------------------------------------------------
+
+
+def _run_pair(run: SuiteRun, config: MachineConfig,
+              elim_overrides: Dict[str, object] = None):
+    from dataclasses import replace
+
+    base = simulate(run.trace, config, run.analysis)
+    overrides = {"eliminate": True}
+    if elim_overrides:
+        overrides.update(elim_overrides)
+    elim = simulate(run.trace, replace(config, **overrides), run.analysis)
+    return base, elim
+
+
+def f7_resources(scale: float = 1.0) -> ExperimentResult:
+    """F7: resource-utilization reductions from elimination.
+
+    Paper claim: reductions averaging over 5% and sometimes exceeding
+    10% in physical-register management, register-file read and write
+    traffic, and data-cache accesses.
+    """
+    table = Table("Resource reductions, default machine (base -> elim)",
+                  ["benchmark", "preg allocs", "preg frees", "RF reads",
+                   "RF writes", "D$ accesses", "eliminated%"])
+    sums = [0.0] * 5
+    data: Dict[str, object] = {}
+    runs = suite_runs(scale)
+    for run in runs:
+        base, elim = _run_pair(run, default_config())
+        sb, se = base.stats, elim.stats
+        reductions = (
+            1 - se.preg_allocs / max(sb.preg_allocs, 1),
+            1 - se.preg_frees / max(sb.preg_frees, 1),
+            1 - se.rf_reads / max(sb.rf_reads, 1),
+            1 - se.rf_writes / max(sb.rf_writes, 1),
+            1 - se.dcache_accesses / max(sb.dcache_accesses, 1),
+        )
+        for index, value in enumerate(reductions):
+            sums[index] += value
+        eliminated = se.eliminated / max(sb.committed, 1)
+        data[run.workload.name] = reductions
+        table.add_row(run.workload.name, *[percent(r) for r in reductions],
+                      percent(eliminated))
+    averages = [total / len(runs) for total in sums]
+    table.add_row("average", *[percent(a) for a in averages], "")
+    data["averages"] = averages
+    return ExperimentResult(
+        id="F7", title="resource utilization reductions",
+        tables=[table], data=data)
+
+
+def f8_speedup(scale: float = 1.0) -> ExperimentResult:
+    """F8: speedup on a resource-contended machine.
+
+    Paper claim: performance improves by an average of 3.6% on an
+    architecture exhibiting resource contention (and little on a
+    generously provisioned one).
+    """
+    table = Table("Speedup from elimination",
+                  ["benchmark", "contended base IPC", "contended speedup",
+                   "default speedup", "recoveries"])
+    data: Dict[str, object] = {"contended": {}, "default": {}}
+    geo_contended = geo_default = 1.0
+    runs = suite_runs(scale)
+    for run in runs:
+        base_c, elim_c = _run_pair(run, contended_config())
+        base_d, elim_d = _run_pair(run, default_config())
+        speedup_c = elim_c.stats.ipc / base_c.stats.ipc - 1
+        speedup_d = elim_d.stats.ipc / base_d.stats.ipc - 1
+        geo_contended *= 1 + speedup_c
+        geo_default *= 1 + speedup_d
+        data["contended"][run.workload.name] = speedup_c
+        data["default"][run.workload.name] = speedup_d
+        table.add_row(run.workload.name, "%.3f" % base_c.stats.ipc,
+                      signed_percent(speedup_c),
+                      signed_percent(speedup_d),
+                      elim_c.stats.recoveries)
+    n = len(runs)
+    mean_contended = geo_contended ** (1.0 / n) - 1
+    mean_default = geo_default ** (1.0 / n) - 1
+    table.add_row("geomean", "", signed_percent(mean_contended),
+                  signed_percent(mean_default), "")
+    data["mean_contended"] = mean_contended
+    data["mean_default"] = mean_default
+    return ExperimentResult(
+        id="F8", title="speedup under resource contention",
+        tables=[table], data=data)
+
+
+def t1_machine_config(scale: float = 1.0) -> ExperimentResult:
+    """T1: the simulated machine configurations."""
+    table = Table("Simulated machine configurations",
+                  ["parameter", "default", "contended"])
+    default = default_config()
+    contended = contended_config()
+    rows = [
+        ("pipeline width (fetch/rename/issue/commit)",
+         lambda c: "%d/%d/%d/%d" % (c.fetch_width, c.rename_width,
+                                    c.issue_width, c.commit_width)),
+        ("ROB / IQ / LSQ", lambda c: "%d / %d / %d" %
+         (c.rob_size, c.iq_size, c.lsq_size)),
+        ("physical registers", lambda c: str(c.phys_regs)),
+        ("ALU / MUL / DIV / branch units", lambda c: "%d/%d/%d/%d" %
+         (c.alu_units, c.mul_units, c.div_units, c.branch_units)),
+        ("memory ports / RF read ports", lambda c: "%d / %d" %
+         (c.mem_ports, c.rf_read_ports)),
+        ("branch predictor", lambda c: "gshare %d entries, %d-bit hist" %
+         (c.gshare_entries, c.gshare_history)),
+        ("L1D", lambda c: "%d sets x %d ways x %dB, %d cycles" %
+         (c.l1d_sets, c.l1d_ways, c.l1d_line, c.l1d_latency)),
+        ("L2 / memory latency", lambda c: "%d / %d cycles" %
+         (c.l2_latency, c.memory_latency)),
+        ("dead predictor", lambda c: "%d entries, %d path bits" %
+         (c.dead_predictor.entries, c.dead_predictor.path_bits)),
+    ]
+    for label, getter in rows:
+        table.add_row(label, getter(default), getter(contended))
+    return ExperimentResult(id="T1", title="machine configuration",
+                            tables=[table], data={})
+
+
+# ---------------------------------------------------------------------
+# Ablations (A1-A3)
+# ---------------------------------------------------------------------
+
+
+def a1_path_length(scale: float = 1.0) -> ExperimentResult:
+    """A1: how much future control flow does the predictor need?"""
+    table = Table("Path length ablation (path predictor, 2048 entries)",
+                  ["path bits", "accuracy", "coverage"])
+    runs = suite_runs(scale)
+    data: Dict[int, object] = {}
+    for path_bits in (0, 1, 2, 3, 4, 5, 6):
+        stats = _suite_predictor_stats(
+            runs,
+            lambda run, pb=path_bits: PathDeadPredictor(path_bits=pb),
+            path_bits=max(path_bits, 1))
+        data[path_bits] = (stats.accuracy, stats.coverage)
+        table.add_row(path_bits, percent(stats.accuracy),
+                      percent(stats.coverage))
+    return ExperimentResult(id="A1", title="future path length ablation",
+                            tables=[table], data=data)
+
+
+def a2_confidence(scale: float = 1.0) -> ExperimentResult:
+    """A2: confidence threshold trades coverage for accuracy."""
+    table = Table("Confidence threshold ablation (path predictor)",
+                  ["conf bits", "threshold", "accuracy", "coverage"])
+    runs = suite_runs(scale)
+    data: Dict[object, object] = {}
+    for conf_bits, threshold in ((1, 1), (2, 1), (2, 2), (2, 3),
+                                 (3, 5), (3, 7)):
+        stats = _suite_predictor_stats(
+            runs,
+            lambda run, cb=conf_bits, th=threshold: PathDeadPredictor(
+                conf_bits=cb, threshold=th),
+            path_bits=3)
+        data[(conf_bits, threshold)] = (stats.accuracy, stats.coverage)
+        table.add_row(conf_bits, threshold, percent(stats.accuracy),
+                      percent(stats.coverage))
+    return ExperimentResult(id="A2", title="confidence threshold ablation",
+                            tables=[table], data=data)
+
+
+def a3_recovery(scale: float = 1.0) -> ExperimentResult:
+    """A3: recovery mechanism sensitivity (replay vs flush)."""
+    table = Table("Recovery ablation: contended-machine geomean speedup",
+                  ["recovery", "geomean speedup", "worst benchmark"])
+    runs = suite_runs(scale)
+    data: Dict[str, object] = {}
+    variants = [
+        ("replay (default)", {}),
+        ("flush, 12-cycle penalty", {"recovery_mode": "flush"}),
+        ("flush, 24-cycle penalty", {"recovery_mode": "flush",
+                                     "recovery_penalty": 24}),
+    ]
+    for label, overrides in variants:
+        geo = 1.0
+        worst_name, worst = "", 1.0
+        for run in runs:
+            base, elim = _run_pair(run, contended_config(), overrides)
+            speedup = elim.stats.ipc / base.stats.ipc - 1
+            geo *= 1 + speedup
+            if speedup < worst:
+                worst, worst_name = speedup, run.workload.name
+        mean = geo ** (1.0 / len(runs)) - 1
+        data[label] = mean
+        table.add_row(label, signed_percent(mean),
+                      "%s (%s)" % (worst_name, signed_percent(worst)))
+    return ExperimentResult(id="A3", title="recovery cost sensitivity",
+                            tables=[table], data=data)
+
+
+def a4_scheduling(scale: float = 1.0) -> ExperimentResult:
+    """A4: elimination underwrites aggressive scheduling.
+
+    The paper's forward-looking claim: "our scheme frees future
+    compilers from the need to consider the costs of dead instructions,
+    enabling more aggressive code motion."  We sweep the scheduler's
+    aggressiveness (instructions hoisted per branch arm) and measure
+    total contended-machine cycles, normalized per benchmark to the
+    unscheduled (-O0) baseline machine without elimination.  Without
+    elimination, aggressive hoisting costs cycles (the dead instances
+    consume contended resources); with elimination most of that cost
+    comes back.
+    """
+    table = Table("Scheduling aggressiveness vs elimination "
+                  "(contended machine, cycles normalized to -O0 base)",
+                  ["max hoist", "dead%", "cycles (base)",
+                   "cycles (elim)", "elim recovers"])
+    config = contended_config()
+    data: Dict[int, object] = {}
+    reference: Dict[str, int] = {}
+    for run in suite_runs(scale, opt_level=0):
+        result = simulate(run.trace, config, run.analysis)
+        reference[run.workload.name] = result.stats.cycles
+    for max_hoist in (0, 2, 4, 8):
+        opt_level = 2 if max_hoist else 0
+        runs = suite_runs(scale, opt_level=opt_level,
+                          max_hoist=max(max_hoist, 1))
+        geo_base = geo_elim = 1.0
+        dead_total = dyn_total = 0
+        for run in runs:
+            base = simulate(run.trace, config, run.analysis)
+            from dataclasses import replace
+
+            elim = simulate(run.trace, replace(config, eliminate=True),
+                            run.analysis)
+            norm = reference[run.workload.name]
+            geo_base *= base.stats.cycles / norm
+            geo_elim *= elim.stats.cycles / norm
+            dead_total += run.analysis.n_dead
+            dyn_total += run.analysis.n_dynamic
+        n = len(runs)
+        base_ratio = geo_base ** (1.0 / n)
+        elim_ratio = geo_elim ** (1.0 / n)
+        if base_ratio > 1.0:
+            recovered = (base_ratio - elim_ratio) / (base_ratio - 1.0)
+            recovered_text = percent(recovered)
+        else:
+            recovered_text = "--"
+        data[max_hoist] = (dead_total / dyn_total, base_ratio,
+                           elim_ratio)
+        table.add_row(max_hoist, percent(dead_total / dyn_total),
+                      "%.3fx" % base_ratio, "%.3fx" % elim_ratio,
+                      recovered_text)
+    return ExperimentResult(
+        id="A4", title="scheduling aggressiveness vs elimination",
+        tables=[table], data=data)
+
+
+def a5_static_dce(scale: float = 1.0) -> ExperimentResult:
+    """A5: compile-time optimization cannot remove dynamic deadness.
+
+    Running classic scalar passes (copy propagation + static dead-code
+    elimination, `repro.lang.optimize`) before scheduling shrinks the
+    *instruction count* a little, but the dynamically dead fraction is
+    essentially unchanged: static DCE can only delete values dead on
+    every path, while the paper's deadness lives on the dynamically
+    taken paths of partially dead instructions.
+    """
+    from repro.lang import CompilerOptions
+
+    table = Table("Static scalar optimization vs dynamic deadness",
+                  ["benchmark", "dyn. instrs removed", "dead% (plain)",
+                   "dead% (+scalar opt)"])
+    data: Dict[str, object] = {}
+    plain_dead = opt_dead = 0
+    plain_dyn = opt_dyn = 0
+    from repro.analysis import analyze_deadness
+    from repro.workloads import all_workloads
+
+    for workload in all_workloads():
+        _, plain_trace = workload.run(
+            CompilerOptions(opt_level=2), scale=scale)
+        _, opt_trace = workload.run(
+            CompilerOptions(opt_level=2, scalar_opt=True), scale=scale)
+        plain = analyze_deadness(plain_trace)
+        optimized = analyze_deadness(opt_trace)
+        removed = 1 - len(opt_trace) / len(plain_trace)
+        data[workload.name] = (removed, plain.dead_fraction,
+                               optimized.dead_fraction)
+        plain_dead += plain.n_dead
+        opt_dead += optimized.n_dead
+        plain_dyn += plain.n_dynamic
+        opt_dyn += optimized.n_dynamic
+        table.add_row(workload.name, percent(removed),
+                      percent(plain.dead_fraction),
+                      percent(optimized.dead_fraction))
+    suite = (1 - opt_dyn / plain_dyn, plain_dead / plain_dyn,
+             opt_dead / opt_dyn)
+    data["suite"] = suite
+    table.add_row("suite", percent(suite[0]), percent(suite[1]),
+                  percent(suite[2]))
+    return ExperimentResult(
+        id="A5", title="static DCE vs dynamic deadness",
+        tables=[table], data=data)
+
+
+def f9_kill_distance(scale: float = 1.0) -> ExperimentResult:
+    """F9: how far away a dead value's killer is.
+
+    The verified-commit rule (DESIGN.md §5.6) means an eliminated
+    instruction must see its overwriter rename before it can retire;
+    this characterization shows the killer is nearby for the dominant
+    scheduler-hoisted population and far for callee-save restores —
+    the population the strike filter learns to skip.
+    """
+    from repro.analysis import kill_distances
+
+    table = Table("Kill distance of dead register writes "
+                  "(dynamic instructions to the overwriter)",
+                  ["benchmark", "killed", "median", "p90",
+                   "within 64", "sched median", "callee-save median"])
+    data: Dict[str, object] = {}
+    for run in suite_runs(scale):
+        stats = kill_distances(run.analysis)
+        data[run.workload.name] = stats
+
+        def median_of(tag):
+            values = sorted(stats.by_provenance.get(tag, []))
+            if not values:
+                return "--"
+            return str(values[len(values) // 2])
+
+        table.add_row(run.workload.name, len(stats.distances),
+                      stats.percentile(0.5) or "--",
+                      stats.percentile(0.9) or "--",
+                      percent(stats.within(64)),
+                      median_of("sched"), median_of("callee-save"))
+    return ExperimentResult(
+        id="F9", title="kill-distance characterization",
+        tables=[table], data=data)
+
+
+def a6_warmup(scale: float = 1.0) -> ExperimentResult:
+    """A6: predictor warm-up after a cold start (context switch).
+
+    The predictor's state is cleared at the midpoint of every trace
+    (as a context switch would) and coverage is measured in windows of
+    dynamic instructions after the flush.  Because the dead-producing
+    static working set is tiny (F4) and the confidence threshold is 2,
+    the predictor re-warms within a few thousand instructions — state
+    loss on a context switch costs almost nothing.
+    """
+    from repro.predictors.dead.paths import compute_paths
+
+    window = 2000
+    buckets = ("steady (pre-flush)", "0-2k after", "2k-4k after",
+               "4k-8k after", "8k+ after")
+    table = Table("Coverage around a mid-trace predictor flush",
+                  ["phase", "coverage"])
+    totals = {bucket: [0, 0] for bucket in buckets}  # [hits, dead]
+
+    for run in suite_runs(scale):
+        analysis = run.analysis
+        trace = run.trace
+        statics = analysis.statics
+        paths = compute_paths(trace, statics, path_bits=3)
+        predictor = PathDeadPredictor()
+        midpoint = len(trace) // 2
+        for i in range(len(trace)):
+            if i == midpoint:
+                predictor = PathDeadPredictor()  # context switch
+            pc = trace.pcs[i]
+            if not statics.eligible[pc >> 2]:
+                continue
+            prediction = predictor.predict(pc, paths.predicted[i], i)
+            if analysis.dead[i]:
+                offset = i - midpoint
+                if offset < 0:
+                    # Only count warmed-up pre-flush instructions.
+                    bucket = (buckets[0] if i > 4 * window else None)
+                elif offset < window:
+                    bucket = buckets[1]
+                elif offset < 2 * window:
+                    bucket = buckets[2]
+                elif offset < 4 * window:
+                    bucket = buckets[3]
+                else:
+                    bucket = buckets[4]
+                if bucket is not None:
+                    totals[bucket][1] += 1
+                    if prediction:
+                        totals[bucket][0] += 1
+            predictor.train(pc, analysis.dead[i], paths.actual[i], i)
+
+    data: Dict[str, float] = {}
+    for bucket in buckets:
+        hits, dead = totals[bucket]
+        coverage = hits / dead if dead else 0.0
+        data[bucket] = coverage
+        table.add_row(bucket, percent(coverage))
+    return ExperimentResult(
+        id="A6", title="predictor warm-up after a cold start",
+        tables=[table], data=data)
+
+
+def e1_energy(scale: float = 1.0) -> ExperimentResult:
+    """E1: the energy implication of the resource reductions.
+
+    The paper motivates elimination partly as a power technique; this
+    extension quantifies it with the activity-energy proxy of
+    `repro.pipeline.energy` (ratios only; see that module's docstring).
+    """
+    from repro.pipeline import energy_of, energy_reduction
+
+    table = Table("Activity-energy reduction from elimination "
+                  "(default machine)",
+                  ["benchmark", "energy reduction", "eliminated%",
+                   "biggest component"])
+    data: Dict[str, float] = {}
+    total = 0.0
+    runs = suite_runs(scale)
+    for run in runs:
+        base, elim = _run_pair(run, default_config())
+        reduction = energy_reduction(base, elim)
+        data[run.workload.name] = reduction
+        total += reduction
+        report = energy_of(base)
+        biggest = max(report.by_component,
+                      key=report.by_component.get)
+        table.add_row(run.workload.name, percent(reduction),
+                      percent(elim.stats.eliminated
+                              / max(base.stats.committed, 1)),
+                      biggest)
+    average = total / len(runs)
+    data["average"] = average
+    table.add_row("average", percent(average), "", "")
+    return ExperimentResult(
+        id="E1", title="activity-energy reduction",
+        tables=[table], data=data)
+
+
+def e2_register_scaling(scale: float = 1.0) -> ExperimentResult:
+    """E2: elimination's profit versus renaming headroom.
+
+    The paper's speedup lives on "an architecture exhibiting resource
+    contention"; this extension turns that into a curve by sweeping
+    the physical-register count of the contended machine.  The fewer
+    spare registers, the more each suppressed allocation is worth —
+    until the machine is so starved that the baseline crawls for other
+    reasons too.
+    """
+    table = Table("Geomean speedup vs physical-register headroom "
+                  "(contended machine)",
+                  ["phys regs (spare)", "base geomean IPC",
+                   "elim speedup"])
+    runs = suite_runs(scale)
+    data: Dict[int, object] = {}
+    for phys_regs in (44, 48, 56, 72, 104, 160):
+        geo_base = geo_speedup = 1.0
+        for run in runs:
+            base, elim = _run_pair(run,
+                                   contended_config(phys_regs=phys_regs))
+            geo_base *= base.stats.ipc
+            geo_speedup *= elim.stats.ipc / base.stats.ipc
+        n = len(runs)
+        base_ipc = geo_base ** (1.0 / n)
+        speedup = geo_speedup ** (1.0 / n) - 1
+        data[phys_regs] = (base_ipc, speedup)
+        table.add_row("%d (%d)" % (phys_regs, phys_regs - 32),
+                      "%.3f" % base_ipc, signed_percent(speedup))
+    return ExperimentResult(
+        id="E2", title="speedup vs renaming headroom",
+        tables=[table], data=data)
+
+
+ALL_EXPERIMENTS: Dict[str, Callable[[float], ExperimentResult]] = {
+    "F1": f1_dead_fraction,
+    "F2": f2_partially_dead,
+    "F3": f3_provenance,
+    "F4": f4_locality,
+    "F5": f5_predictor_sweep,
+    "F6": f6_predictor_compare,
+    "F7": f7_resources,
+    "F8": f8_speedup,
+    "F9": f9_kill_distance,
+    "T1": t1_machine_config,
+    "A1": a1_path_length,
+    "A2": a2_confidence,
+    "A3": a3_recovery,
+    "A4": a4_scheduling,
+    "A5": a5_static_dce,
+    "A6": a6_warmup,
+    "E1": e1_energy,
+    "E2": e2_register_scaling,
+}
+
+
+def run_experiment(experiment_id: str,
+                   scale: float = 1.0) -> ExperimentResult:
+    """Run one experiment by id (F1..F8, T1, A1..A3)."""
+    experiment_id = experiment_id.upper()
+    if experiment_id not in ALL_EXPERIMENTS:
+        raise KeyError("unknown experiment %r (have: %s)" %
+                       (experiment_id, ", ".join(ALL_EXPERIMENTS)))
+    return ALL_EXPERIMENTS[experiment_id](scale)

@@ -1,0 +1,55 @@
+"""Shared, cached workload runs for the experiments.
+
+Every experiment starts from the same artifact: each workload compiled,
+executed, traced, and labelled by the exact deadness analysis.  This
+module memoizes those artifacts per (scale, opt level) so a session
+running several experiments (or all the benchmark files) pays for the
+suite once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis import DeadnessAnalysis, analyze_deadness
+from repro.emulator import Machine, Trace
+from repro.lang import CompilerOptions
+from repro.workloads import Workload, all_workloads
+
+
+@dataclass
+class SuiteRun:
+    """One workload's executed-and-analyzed artifact."""
+
+    workload: Workload
+    machine: Machine
+    trace: Trace
+    analysis: DeadnessAnalysis
+
+
+_CACHE: Dict[Tuple[float, int, int], List[SuiteRun]] = {}
+
+
+def suite_runs(scale: float = 1.0, opt_level: int = 2,
+               max_hoist: int = 4) -> List[SuiteRun]:
+    """Run the whole suite (memoized); outputs are verified against the
+    pure-Python references as a side effect of every call."""
+    key = (scale, opt_level, max_hoist)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    options = CompilerOptions(opt_level=opt_level, max_hoist=max_hoist)
+    runs: List[SuiteRun] = []
+    for workload in all_workloads():
+        machine, trace = workload.run(options, scale=scale)
+        analysis = analyze_deadness(trace)
+        runs.append(SuiteRun(workload=workload, machine=machine,
+                             trace=trace, analysis=analysis))
+    _CACHE[key] = runs
+    return runs
+
+
+def clear_cache() -> None:
+    """Drop memoized runs (tests use this to bound memory)."""
+    _CACHE.clear()

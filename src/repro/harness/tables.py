@@ -1,0 +1,54 @@
+"""Minimal fixed-width text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class Table:
+    """A text table with a title, a header row, and value rows."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError("expected %d values, got %d" %
+                             (len(self.columns), len(values)))
+        self.rows.append([_format(value) for value in values])
+
+    def render(self) -> str:
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title]
+        lines.append("  ".join(column.ljust(widths[index])
+                               for index, column in
+                               enumerate(self.columns)))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[index])
+                                   for index, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        return "%.2f" % value
+    return str(value)
+
+
+def percent(value: float) -> str:
+    """Render a ratio as a percentage string."""
+    return "%.1f%%" % (100.0 * value)
+
+
+def signed_percent(value: float) -> str:
+    """Render a ratio as a signed percentage string."""
+    return "%+.1f%%" % (100.0 * value)

@@ -1,0 +1,62 @@
+"""A small 32-bit RISC instruction-set architecture.
+
+This package defines the instruction set used throughout the
+reproduction: register conventions (:mod:`repro.isa.registers`),
+instruction and opcode definitions (:mod:`repro.isa.instructions`),
+a fixed 32-bit binary encoding (:mod:`repro.isa.encoding`), a two-pass
+assembler (:mod:`repro.isa.assembler`), a disassembler
+(:mod:`repro.isa.disassembler`), and the :class:`~repro.isa.program.Program`
+container produced by assembly.
+
+The ISA is deliberately DLX/MIPS-flavoured: 32 general registers with
+``r0`` hardwired to zero, fixed-width 32-bit instructions, byte-addressed
+memory with word and byte loads/stores, compare-and-branch instructions,
+and ``jal``/``jalr`` for calls.  This is the shape of machine the paper's
+analysis assumes (a register-writing RISC with conditional branches).
+"""
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.disassembler import disassemble, disassemble_program
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instructions import (
+    Format,
+    Instruction,
+    Opcode,
+    OpcodeInfo,
+    OPCODE_INFO,
+)
+from repro.isa.program import Program
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_NAMES,
+    REG_NUMBERS,
+    ZERO,
+    RA,
+    SP,
+    reg_name,
+    reg_number,
+)
+
+__all__ = [
+    "AssemblyError",
+    "EncodingError",
+    "Format",
+    "Instruction",
+    "NUM_REGS",
+    "OPCODE_INFO",
+    "Opcode",
+    "OpcodeInfo",
+    "Program",
+    "RA",
+    "REG_NAMES",
+    "REG_NUMBERS",
+    "SP",
+    "ZERO",
+    "assemble",
+    "decode",
+    "disassemble",
+    "disassemble_program",
+    "encode",
+    "reg_name",
+    "reg_number",
+]

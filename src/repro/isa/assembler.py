@@ -1,0 +1,401 @@
+"""Two-pass assembler for the repro ISA.
+
+Syntax, one statement per line::
+
+    # full-line comment
+    label:                      # labels may share a line with code
+        addi  sp, sp, -16
+        lw    t0, 4(sp)
+        beq   t0, zero, done
+        add   t1, t0, t2  @sched   # '@tag' records compiler provenance
+    table:
+        .word 1, 2, 3, next     # labels allowed in .word
+        .space 64               # n zero bytes
+
+Directives: ``.text``, ``.data``, ``.word``, ``.space``, ``.globl``
+(ignored).  Pseudo-instructions (expanded during assembly):
+
+=================  =================================================
+``nop``            no-operation
+``move rd, rs``    ``add rd, rs, zero`` (alias ``mv``)
+``li rd, imm``     ``addi`` when imm fits 16 bits, else ``lui + ori``
+``la rd, label``   always ``lui + ori`` (fixed two-instruction size)
+``not rd, rs``     ``nor rd, rs, zero``
+``neg rd, rs``     ``sub rd, zero, rs``
+``beqz/bnez``      compare against ``zero``
+``bgt/ble``        operand-swapped ``blt``/``bge``
+``sll/srl/sra``    resolve to register or immediate shift by operand
+``call label``     ``jal label``
+``ret``            ``jalr zero, ra``
+=================  =================================================
+
+A provenance tag on a pseudo-instruction is applied to every
+instruction of its expansion.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import (
+    Format,
+    Instruction,
+    JAL_LINK_REGISTER,
+    MNEMONIC_TO_OPCODE,
+    Opcode,
+    OPCODE_INFO,
+)
+from repro.isa.program import DATA_BASE, Program, TEXT_BASE
+from repro.isa.registers import REG_NUMBERS
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+_LABEL_DEF = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_IMM16_MIN, _IMM16_MAX = -(1 << 15), (1 << 15) - 1
+
+
+class AssemblyError(ValueError):
+    """Raised for any malformed assembly input."""
+
+    def __init__(self, message: str, line: int = -1):
+        if line >= 0:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class _Statement:
+    """One parsed source statement (instruction or data directive)."""
+
+    __slots__ = ("mnemonic", "operands", "provenance", "line", "size")
+
+    def __init__(self, mnemonic: str, operands: List[str],
+                 provenance: Optional[str], line: int):
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.provenance = provenance
+        self.line = line
+        self.size = 0  # bytes, filled during pass 1
+
+
+def _strip(line: str) -> str:
+    """Remove comments and surrounding whitespace."""
+    hash_pos = line.find("#")
+    if hash_pos >= 0:
+        line = line[:hash_pos]
+    return line.strip()
+
+
+def _split_operands(text: str) -> List[str]:
+    text = text.strip()
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def _parse_int(token: str) -> Optional[int]:
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+def _pseudo_size(mnemonic: str, operands: List[str], line: int) -> int:
+    """Instruction count a pseudo (or real) mnemonic expands to."""
+    if mnemonic == "la":
+        return 2
+    if mnemonic == "li":
+        if len(operands) != 2:
+            raise AssemblyError("li needs 2 operands", line)
+        value = _parse_int(operands[1])
+        if value is None:
+            raise AssemblyError("li needs a literal immediate", line)
+        return 1 if _IMM16_MIN <= value <= _IMM16_MAX else 2
+    return 1
+
+
+class _Assembler:
+    def __init__(self, source: str, name: str):
+        self.source = source
+        self.name = name
+        self.symbols: Dict[str, int] = {}
+        self.text: List[_Statement] = []
+        self.data_words: Dict[int, int] = {}
+        self.instructions: List[Instruction] = []
+
+    # ----- pass 1: collect statements, size them, define symbols -----
+
+    def pass1(self) -> None:
+        section = "text"
+        text_addr = TEXT_BASE
+        data_addr = DATA_BASE
+        for line_number, raw in enumerate(self.source.splitlines(), 1):
+            line = _strip(raw)
+            while True:
+                match = _LABEL_DEF.match(line)
+                if not match:
+                    break
+                label = match.group(1)
+                if label in self.symbols:
+                    raise AssemblyError(
+                        "duplicate label %r" % label, line_number)
+                self.symbols[label] = (
+                    text_addr if section == "text" else data_addr)
+                line = line[match.end():].strip()
+            if not line:
+                continue
+
+            provenance = None
+            at_pos = line.rfind("@")
+            if at_pos >= 0:
+                provenance = line[at_pos + 1:].strip()
+                line = line[:at_pos].strip()
+                if not provenance or " " in provenance:
+                    raise AssemblyError("malformed @provenance", line_number)
+                if not line:
+                    raise AssemblyError(
+                        "@provenance without an instruction", line_number)
+
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _split_operands(parts[1]) if len(parts) > 1 else []
+            stmt = _Statement(mnemonic, operands, provenance, line_number)
+
+            if mnemonic == ".text":
+                section = "text"
+            elif mnemonic == ".data":
+                section = "data"
+            elif mnemonic == ".globl":
+                pass
+            elif mnemonic == ".word":
+                if section != "data":
+                    raise AssemblyError(".word outside .data", line_number)
+                stmt.size = 4 * max(len(operands), 1)
+                stmt.mnemonic = ".word"
+                self._emit_data_placeholder(stmt, data_addr)
+                data_addr += stmt.size
+            elif mnemonic == ".space":
+                if section != "data":
+                    raise AssemblyError(".space outside .data", line_number)
+                if len(operands) != 1:
+                    raise AssemblyError(".space needs a size", line_number)
+                size = _parse_int(operands[0])
+                if size is None or size < 0:
+                    raise AssemblyError("bad .space size", line_number)
+                data_addr += (size + 3) & ~3
+            elif mnemonic.startswith("."):
+                raise AssemblyError(
+                    "unknown directive %r" % mnemonic, line_number)
+            else:
+                if section != "text":
+                    raise AssemblyError(
+                        "instruction outside .text", line_number)
+                stmt.size = 4 * _pseudo_size(mnemonic, operands, line_number)
+                self.text.append(stmt)
+                text_addr += stmt.size
+
+    def _emit_data_placeholder(self, stmt: _Statement, address: int) -> None:
+        # Remember where this .word's values go; resolved in pass 2.
+        stmt.operands = [str(address)] + stmt.operands
+        self._deferred_words.append(stmt)
+
+    _deferred_words: List[_Statement]
+
+    # ----- pass 2: resolve symbols and emit instructions/data -----
+
+    def pass2(self) -> None:
+        pc = TEXT_BASE
+        for stmt in self.text:
+            emitted = self._expand(stmt, pc)
+            for instr in emitted:
+                instr.pc = pc
+                instr.provenance = stmt.provenance
+                instr.source_line = stmt.line
+                self.instructions.append(instr)
+                pc += 4
+        for stmt in self._deferred_words:
+            address = int(stmt.operands[0])
+            values = stmt.operands[1:]
+            for offset, token in enumerate(values):
+                value = self._value(token, stmt.line)
+                self.data_words[address + 4 * offset] = value & 0xFFFFFFFF
+
+    def _reg(self, token: str, line: int) -> int:
+        number = REG_NUMBERS.get(token.lower())
+        if number is None:
+            raise AssemblyError("unknown register %r" % token, line)
+        return number
+
+    def _value(self, token: str, line: int) -> int:
+        literal = _parse_int(token)
+        if literal is not None:
+            return literal
+        if token in self.symbols:
+            return self.symbols[token]
+        raise AssemblyError("undefined symbol %r" % token, line)
+
+    def _branch_offset(self, token: str, pc: int, line: int) -> int:
+        target = self._value(token, line)
+        offset = target - (pc + 4)
+        if not _IMM16_MIN <= offset <= _IMM16_MAX:
+            raise AssemblyError("branch target out of range", line)
+        return offset
+
+    def _expand(self, stmt: _Statement, pc: int) -> List[Instruction]:
+        m, ops, line = stmt.mnemonic, stmt.operands, stmt.line
+
+        # --- pseudo-instructions ---
+        if m in ("move", "mv"):
+            self._arity(ops, 2, line)
+            return [Instruction(Opcode.ADD, rd=self._reg(ops[0], line),
+                                rs1=self._reg(ops[1], line), rs2=0)]
+        if m == "li":
+            rd = self._reg(ops[0], line)
+            value = _parse_int(ops[1])
+            assert value is not None  # checked in pass 1
+            return self._load_value(rd, value)
+        if m == "la":
+            self._arity(ops, 2, line)
+            rd = self._reg(ops[0], line)
+            address = self._value(ops[1], line)
+            hi, lo = (address >> 16) & 0xFFFF, address & 0xFFFF
+            return [Instruction(Opcode.LUI, rd=rd, imm=hi),
+                    Instruction(Opcode.ORI, rd=rd, rs1=rd, imm=lo)]
+        if m == "not":
+            self._arity(ops, 2, line)
+            return [Instruction(Opcode.NOR, rd=self._reg(ops[0], line),
+                                rs1=self._reg(ops[1], line), rs2=0)]
+        if m == "neg":
+            self._arity(ops, 2, line)
+            return [Instruction(Opcode.SUB, rd=self._reg(ops[0], line),
+                                rs1=0, rs2=self._reg(ops[1], line))]
+        if m in ("beqz", "bnez"):
+            self._arity(ops, 2, line)
+            opcode = Opcode.BEQ if m == "beqz" else Opcode.BNE
+            return [Instruction(opcode, rs1=self._reg(ops[0], line), rs2=0,
+                                imm=self._branch_offset(ops[1], pc, line))]
+        if m in ("bgt", "ble"):
+            self._arity(ops, 3, line)
+            opcode = Opcode.BLT if m == "bgt" else Opcode.BGE
+            return [Instruction(opcode, rs1=self._reg(ops[1], line),
+                                rs2=self._reg(ops[0], line),
+                                imm=self._branch_offset(ops[2], pc, line))]
+        if m in ("sll", "srl", "sra"):
+            self._arity(ops, 3, line)
+            rd = self._reg(ops[0], line)
+            rs1 = self._reg(ops[1], line)
+            shamt = _parse_int(ops[2])
+            if shamt is not None:
+                opcode = {"sll": Opcode.SLLI, "srl": Opcode.SRLI,
+                          "sra": Opcode.SRAI}[m]
+                return [Instruction(opcode, rd=rd, rs1=rs1, imm=shamt)]
+            opcode = {"sll": Opcode.SLLV, "srl": Opcode.SRLV,
+                      "sra": Opcode.SRAV}[m]
+            return [Instruction(opcode, rd=rd, rs1=rs1,
+                                rs2=self._reg(ops[2], line))]
+        if m == "call":
+            self._arity(ops, 1, line)
+            return [self._jump(Opcode.JAL, ops[0], line)]
+        if m == "ret":
+            self._arity(ops, 0, line)
+            return [Instruction(Opcode.JALR, rd=0, rs1=1)]
+
+        # --- real instructions ---
+        opcode = MNEMONIC_TO_OPCODE.get(m)
+        if opcode is None:
+            raise AssemblyError("unknown mnemonic %r" % m, line)
+        info = OPCODE_INFO[opcode]
+
+        if opcode in (Opcode.NOP, Opcode.HALT, Opcode.SYSCALL):
+            self._arity(ops, 0, line)
+            return [Instruction(opcode)]
+        if opcode == Opcode.J or opcode == Opcode.JAL:
+            self._arity(ops, 1, line)
+            return [self._jump(opcode, ops[0], line)]
+        if opcode == Opcode.JALR:
+            if len(ops) not in (1, 2):
+                raise AssemblyError("jalr needs 1 or 2 operands", line)
+            if len(ops) == 1:
+                return [Instruction(opcode, rd=0,
+                                    rs1=self._reg(ops[0], line))]
+            return [Instruction(opcode, rd=self._reg(ops[0], line),
+                                rs1=self._reg(ops[1], line))]
+        if opcode == Opcode.LUI:
+            self._arity(ops, 2, line)
+            return [Instruction(opcode, rd=self._reg(ops[0], line),
+                                imm=self._value(ops[1], line))]
+        if info.is_load or info.is_store:
+            self._arity(ops, 2, line)
+            match = _MEM_OPERAND.match(ops[1].replace(" ", ""))
+            if not match:
+                raise AssemblyError(
+                    "expected imm(reg) operand, got %r" % ops[1], line)
+            offset = self._value(match.group(1), line)
+            base = self._reg(match.group(2), line)
+            if info.is_load:
+                return [Instruction(opcode, rd=self._reg(ops[0], line),
+                                    rs1=base, imm=offset)]
+            return [Instruction(opcode, rs2=self._reg(ops[0], line),
+                                rs1=base, imm=offset)]
+        if info.is_branch:
+            self._arity(ops, 3, line)
+            return [Instruction(opcode, rs1=self._reg(ops[0], line),
+                                rs2=self._reg(ops[1], line),
+                                imm=self._branch_offset(ops[2], pc, line))]
+        if info.format == Format.R:
+            self._arity(ops, 3, line)
+            return [Instruction(opcode, rd=self._reg(ops[0], line),
+                                rs1=self._reg(ops[1], line),
+                                rs2=self._reg(ops[2], line))]
+        # Remaining: I-format ALU.
+        self._arity(ops, 3, line)
+        return [Instruction(opcode, rd=self._reg(ops[0], line),
+                            rs1=self._reg(ops[1], line),
+                            imm=self._value(ops[2], line))]
+
+    def _jump(self, opcode: Opcode, token: str, line: int) -> Instruction:
+        target = self._value(token, line)
+        if target & 3:
+            raise AssemblyError("jump target not word aligned", line)
+        rd = JAL_LINK_REGISTER if opcode == Opcode.JAL else 0
+        return Instruction(opcode, rd=rd, imm=target >> 2)
+
+    @staticmethod
+    def _load_value(rd: int, value: int) -> List[Instruction]:
+        if _IMM16_MIN <= value <= _IMM16_MAX:
+            return [Instruction(Opcode.ADDI, rd=rd, rs1=0, imm=value)]
+        unsigned = value & 0xFFFFFFFF
+        hi, lo = (unsigned >> 16) & 0xFFFF, unsigned & 0xFFFF
+        result = [Instruction(Opcode.LUI, rd=rd, imm=hi)]
+        if lo:
+            result.append(Instruction(Opcode.ORI, rd=rd, rs1=rd, imm=lo))
+        else:
+            # Keep the two-instruction size promised by pass 1.
+            result.append(Instruction(Opcode.ORI, rd=rd, rs1=rd, imm=0))
+        return result
+
+    @staticmethod
+    def _arity(operands: List[str], expected: int, line: int) -> None:
+        if len(operands) != expected:
+            raise AssemblyError(
+                "expected %d operands, got %d" % (expected, len(operands)),
+                line)
+
+
+def assemble(source: str, name: str = "") -> Program:
+    """Assemble *source* text into a :class:`~repro.isa.program.Program`.
+
+    Raises :class:`AssemblyError` with a line number on malformed input.
+    """
+    assembler = _Assembler(source, name)
+    assembler._deferred_words = []
+    assembler.pass1()
+    assembler.pass2()
+    entry = assembler.symbols.get("_start", TEXT_BASE)
+    return Program(
+        instructions=assembler.instructions,
+        data=assembler.data_words,
+        symbols=dict(assembler.symbols),
+        entry=entry,
+        name=name,
+    )

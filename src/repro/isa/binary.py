@@ -1,0 +1,117 @@
+"""On-disk program images (the toolchain's object format).
+
+Layout of a ``.rpo`` image (all integers little-endian unsigned
+32-bit):
+
+======  ========================================================
+offset  contents
+======  ========================================================
+0       magic ``b"RPO1"``
+4       entry address
+8       instruction count N
+12      data-word count D
+16      N encoded instruction words
+...     D pairs of (address, value) data words
+...     UTF-8 JSON metadata: ``{"name", "symbols", "provenance",
+        "source_lines"}``
+======  ========================================================
+
+The instruction stream round-trips through
+:mod:`repro.isa.encoding`; symbols and compiler provenance ride in the
+metadata trailer so analysis tools keep working on loaded images.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Union
+
+from repro.isa.encoding import decode, encode
+from repro.isa.program import Program, TEXT_BASE
+
+MAGIC = b"RPO1"
+
+
+class BinaryFormatError(ValueError):
+    """Raised when an image is malformed."""
+
+
+def save_program(program: Program) -> bytes:
+    """Serialize *program* to an image."""
+    parts = [MAGIC,
+             struct.pack("<III", program.entry,
+                         len(program.instructions), len(program.data))]
+    for instruction in program.instructions:
+        parts.append(struct.pack("<I", encode(instruction)))
+    for address in sorted(program.data):
+        parts.append(struct.pack("<II", address,
+                                 program.data[address] & 0xFFFFFFFF))
+    metadata = {
+        "name": program.name,
+        "symbols": program.symbols,
+        "provenance": {str(instr.pc): instr.provenance
+                       for instr in program.instructions
+                       if instr.provenance is not None},
+        "source_lines": {str(instr.pc): instr.source_line
+                         for instr in program.instructions
+                         if instr.source_line >= 0},
+    }
+    parts.append(json.dumps(metadata).encode("utf-8"))
+    return b"".join(parts)
+
+
+def load_program(image: Union[bytes, bytearray]) -> Program:
+    """Deserialize an image produced by :func:`save_program`."""
+    if len(image) < 16 or image[:4] != MAGIC:
+        raise BinaryFormatError("not a repro program image")
+    entry, n_instructions, n_data = struct.unpack_from("<III", image, 4)
+    offset = 16
+    needed = offset + 4 * n_instructions + 8 * n_data
+    if len(image) < needed:
+        raise BinaryFormatError("truncated program image")
+
+    instructions = []
+    for index in range(n_instructions):
+        (word,) = struct.unpack_from("<I", image, offset)
+        offset += 4
+        instructions.append(decode(word, pc=TEXT_BASE + 4 * index))
+
+    data = {}
+    for _ in range(n_data):
+        address, value = struct.unpack_from("<II", image, offset)
+        offset += 8
+        data[address] = value
+
+    try:
+        metadata = json.loads(image[offset:].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise BinaryFormatError("bad metadata trailer: %s" % error)
+
+    for instruction in instructions:
+        tag = metadata.get("provenance", {}).get(str(instruction.pc))
+        if tag is not None:
+            instruction.provenance = tag
+        line = metadata.get("source_lines", {}).get(str(instruction.pc))
+        if line is not None:
+            instruction.source_line = line
+
+    return Program(
+        instructions=instructions,
+        data=data,
+        symbols=dict(metadata.get("symbols", {})),
+        entry=entry,
+        name=metadata.get("name", ""),
+    )
+
+
+def write_program(program: Program, path: str) -> None:
+    """Save *program* to *path*."""
+    with open(path, "wb") as stream:
+        stream.write(save_program(program))
+
+
+def read_program(path: str) -> Program:
+    """Load a program image from *path*."""
+    with open(path, "rb") as stream:
+        return load_program(stream.read())

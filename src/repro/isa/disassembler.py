@@ -1,0 +1,60 @@
+"""Textual rendering of instructions (inverse of the assembler).
+
+The output of :func:`disassemble` re-assembles to an identical
+instruction, which the round-trip property tests rely on.  Jump targets
+and branch offsets are rendered numerically (labels are gone after
+assembly).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.isa.instructions import Format, Instruction, Opcode, OPCODE_INFO
+from repro.isa.registers import reg_name
+
+
+def disassemble(instruction: Instruction) -> str:
+    """Render one instruction as assembler text."""
+    opcode = instruction.opcode
+    info = OPCODE_INFO[opcode]
+    mnemonic = info.mnemonic
+
+    if opcode in (Opcode.NOP, Opcode.HALT, Opcode.SYSCALL):
+        return mnemonic
+    if opcode in (Opcode.J, Opcode.JAL):
+        return "%s %d" % (mnemonic, instruction.imm << 2)
+    if opcode == Opcode.JALR:
+        return "%s %s, %s" % (mnemonic, reg_name(instruction.rd),
+                              reg_name(instruction.rs1))
+    if opcode == Opcode.LUI:
+        return "%s %s, %d" % (mnemonic, reg_name(instruction.rd),
+                              instruction.imm)
+    if info.is_load:
+        return "%s %s, %d(%s)" % (mnemonic, reg_name(instruction.rd),
+                                  instruction.imm, reg_name(instruction.rs1))
+    if info.is_store:
+        return "%s %s, %d(%s)" % (mnemonic, reg_name(instruction.rs2),
+                                  instruction.imm, reg_name(instruction.rs1))
+    if info.is_branch:
+        return "%s %s, %s, %d" % (mnemonic, reg_name(instruction.rs1),
+                                  reg_name(instruction.rs2),
+                                  instruction.imm + instruction.pc + 4
+                                  if instruction.pc >= 0 else instruction.imm)
+    if info.format == Format.R:
+        return "%s %s, %s, %s" % (mnemonic, reg_name(instruction.rd),
+                                  reg_name(instruction.rs1),
+                                  reg_name(instruction.rs2))
+    return "%s %s, %s, %d" % (mnemonic, reg_name(instruction.rd),
+                              reg_name(instruction.rs1), instruction.imm)
+
+
+def disassemble_program(instructions: Iterable[Instruction]) -> str:
+    """Render a whole instruction sequence, one per line, with addresses."""
+    lines: List[str] = []
+    for instruction in instructions:
+        tag = "  @%s" % instruction.provenance if instruction.provenance \
+            else ""
+        lines.append("%#07x:  %s%s" % (instruction.pc,
+                                       disassemble(instruction), tag))
+    return "\n".join(lines)

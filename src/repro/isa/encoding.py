@@ -1,0 +1,124 @@
+"""Fixed-width 32-bit binary encoding of instructions.
+
+Layouts (bit 31 is the most significant):
+
+======  =====================================================
+format  layout
+======  =====================================================
+R       ``op[31:26] ra[25:21] rb[20:16] rc[15:11] 0[10:0]``
+I       ``op[31:26] ra[25:21] rb[20:16] imm[15:0]`` (signed)
+J       ``op[31:26] imm[25:0]`` (absolute word address)
+======  =====================================================
+
+Field assignment is uniform: ``ra`` carries the instruction's first
+textual operand (the destination for writing instructions, the value
+register ``rs2`` for stores, the first compared register ``rs1`` for
+branches), ``rb`` the second, ``rc`` the third.  :func:`encode` and
+:func:`decode` are exact inverses for every well-formed instruction;
+the property-based tests in ``tests/test_isa_encoding.py`` verify this.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    Format,
+    Instruction,
+    JAL_LINK_REGISTER,
+    Opcode,
+    OPCODE_INFO,
+)
+
+IMM16_MIN = -(1 << 15)
+IMM16_MAX = (1 << 15) - 1
+IMM26_MAX = (1 << 26) - 1
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _check_reg(value: int, label: str) -> None:
+    if not 0 <= value < 32:
+        raise EncodingError("%s out of range: %d" % (label, value))
+
+
+def encode(instruction: Instruction) -> int:
+    """Encode *instruction* into a 32-bit word."""
+    opcode = instruction.opcode
+    info = OPCODE_INFO[opcode]
+    word = int(opcode) << 26
+
+    if info.format == Format.R:
+        _check_reg(instruction.rd, "rd")
+        _check_reg(instruction.rs1, "rs1")
+        _check_reg(instruction.rs2, "rs2")
+        word |= instruction.rd << 21
+        word |= instruction.rs1 << 16
+        word |= instruction.rs2 << 11
+        return word
+
+    if info.format == Format.I:
+        imm = instruction.imm
+        if info.zero_ext_imm:
+            if not 0 <= imm <= 0xFFFF:
+                raise EncodingError(
+                    "immediate out of unsigned 16-bit range: %d" % imm)
+        elif not IMM16_MIN <= imm <= IMM16_MAX:
+            raise EncodingError(
+                "immediate out of 16-bit range: %d" % imm)
+        if info.is_store:
+            ra, rb = instruction.rs2, instruction.rs1
+        elif info.is_branch:
+            ra, rb = instruction.rs1, instruction.rs2
+        else:
+            ra, rb = instruction.rd, instruction.rs1
+        _check_reg(ra, "ra")
+        _check_reg(rb, "rb")
+        word |= ra << 21
+        word |= rb << 16
+        word |= imm & 0xFFFF
+        return word
+
+    # J format: 26-bit absolute word address.
+    imm = instruction.imm
+    if not 0 <= imm <= IMM26_MAX:
+        raise EncodingError("jump target out of 26-bit range: %d" % imm)
+    word |= imm
+    return word
+
+
+def decode(word: int, pc: int = -1) -> Instruction:
+    """Decode a 32-bit *word* back into an :class:`Instruction`."""
+    if not 0 <= word < (1 << 32):
+        raise EncodingError("not a 32-bit word: %d" % word)
+    opcode_bits = word >> 26
+    try:
+        opcode = Opcode(opcode_bits)
+    except ValueError:
+        raise EncodingError("unknown opcode bits: %d" % opcode_bits)
+    info = OPCODE_INFO[opcode]
+
+    if info.format == Format.R:
+        return Instruction(
+            opcode,
+            rd=(word >> 21) & 0x1F,
+            rs1=(word >> 16) & 0x1F,
+            rs2=(word >> 11) & 0x1F,
+            pc=pc,
+        )
+
+    if info.format == Format.I:
+        ra = (word >> 21) & 0x1F
+        rb = (word >> 16) & 0x1F
+        imm = word & 0xFFFF
+        if imm >= 0x8000 and not info.zero_ext_imm:
+            imm -= 0x10000
+        if info.is_store:
+            return Instruction(opcode, rs2=ra, rs1=rb, imm=imm, pc=pc)
+        if info.is_branch:
+            return Instruction(opcode, rs1=ra, rs2=rb, imm=imm, pc=pc)
+        return Instruction(opcode, rd=ra, rs1=rb, imm=imm, pc=pc)
+
+    imm = word & 0x3FFFFFF
+    rd = JAL_LINK_REGISTER if opcode == Opcode.JAL else 0
+    return Instruction(opcode, rd=rd, imm=imm, pc=pc)

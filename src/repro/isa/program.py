@@ -1,0 +1,65 @@
+"""The :class:`Program` container produced by the assembler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import Instruction
+
+#: Byte address of the first instruction.
+TEXT_BASE = 0x0000
+
+#: Byte address of the data segment.
+DATA_BASE = 0x10000
+
+#: Initial stack pointer (stack grows down, well above the data segment).
+STACK_BASE = 0x80000
+
+
+@dataclass
+class Program:
+    """An assembled program: code, initial data, and symbols.
+
+    ``instructions[i]`` lives at byte address ``TEXT_BASE + 4 * i``; each
+    instruction's ``pc`` field is set accordingly by the assembler.
+    ``data`` maps word-aligned byte addresses to initial 32-bit values
+    (unlisted words are zero).  ``symbols`` maps label names to byte
+    addresses in either segment.
+    """
+
+    instructions: List[Instruction]
+    data: Dict[int, int] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    entry: int = TEXT_BASE
+    name: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def instruction_at(self, pc: int) -> Instruction:
+        """Return the instruction at byte address *pc*."""
+        index = (pc - TEXT_BASE) >> 2
+        if pc & 3 or not 0 <= index < len(self.instructions):
+            raise IndexError("no instruction at pc=%#x" % pc)
+        return self.instructions[index]
+
+    @property
+    def provenance(self) -> Dict[int, str]:
+        """Map of pc -> compiler provenance tag, for tagged instructions."""
+        return {
+            instr.pc: instr.provenance
+            for instr in self.instructions
+            if instr.provenance is not None
+        }
+
+    def static_count(self) -> int:
+        """Number of static instructions."""
+        return len(self.instructions)
+
+    def symbol_at(self, address: int) -> Optional[str]:
+        """Return a symbol naming *address*, if any (for diagnostics)."""
+        for name, value in self.symbols.items():
+            if value == address:
+                return name
+        return None

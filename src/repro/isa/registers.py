@@ -1,0 +1,68 @@
+"""Register-file conventions for the repro ISA.
+
+The machine has 32 general-purpose 32-bit registers.  Register 0
+(``zero``) is hardwired to zero: writes to it are discarded, reads
+always return 0.  The ABI names below follow MIPS conventions closely;
+the compiler in :mod:`repro.lang` relies on them:
+
+=========  =======  ====================================================
+numbers    names    role
+=========  =======  ====================================================
+0          zero     hardwired zero
+1          ra       return address (written by ``jal``/``call``)
+2          sp       stack pointer
+3          gp       global pointer (base of the data segment)
+4          fp       frame pointer
+5-6        v0, v1   return values / syscall selector
+7-10       a0-a3    arguments
+11-20      t0-t9    caller-saved temporaries
+21-28      s0-s7    callee-saved registers
+29-30      k0, k1   reserved scratch (assembler pseudo-expansion)
+31         at       assembler temporary
+=========  =======  ====================================================
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+# Canonical ABI names, index == register number.
+REG_NAMES = (
+    "zero", "ra", "sp", "gp", "fp", "v0", "v1",
+    "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "k0", "k1", "at",
+)
+
+assert len(REG_NAMES) == NUM_REGS
+
+# Frequently used register numbers, by name.
+ZERO = 0
+RA = 1
+SP = 2
+GP = 3
+FP = 4
+V0 = 5
+V1 = 6
+A0 = 7
+K0 = 29
+K1 = 30
+AT = 31
+
+# name -> number, accepting both ABI names and raw "rN" spellings.
+REG_NUMBERS = {name: number for number, name in enumerate(REG_NAMES)}
+REG_NUMBERS.update({"r%d" % number: number for number in range(NUM_REGS)})
+
+
+def reg_number(name: str) -> int:
+    """Return the register number for *name* (ABI name or ``rN``).
+
+    Raises :class:`KeyError` for unknown names.
+    """
+    return REG_NUMBERS[name.lower()]
+
+
+def reg_name(number: int) -> str:
+    """Return the canonical ABI name for register *number*."""
+    return REG_NAMES[number]

@@ -1,0 +1,39 @@
+"""Mini-C: the optimizing compiler substrate.
+
+The paper attributes a significant share of dynamically dead
+instructions to *compiler instruction scheduling* — speculative hoisting
+of computations above branches, which leaves the hoisted result unused
+whenever control takes the other path — and to callee-save register
+save/restore code.  To reproduce that mechanism (rather than fake its
+effect), this package implements a small but real optimizing compiler
+for a C-like language:
+
+* lexer/parser (:mod:`repro.lang.lexer`, :mod:`repro.lang.parser`),
+* three-address IR with a per-function CFG (:mod:`repro.lang.ir`),
+* AST lowering (:mod:`repro.lang.lower`),
+* CFG liveness analysis (:mod:`repro.lang.liveness`),
+* **speculative hoisting scheduler** (:mod:`repro.lang.schedule`) —
+  the dead-instruction factory, tagging moved instructions with
+  ``sched`` provenance,
+* linear-scan register allocation (:mod:`repro.lang.regalloc`),
+* code generation to repro assembly (:mod:`repro.lang.codegen`) with
+  ``callee-save`` provenance on save/restore code.
+
+Entry points: :func:`compile_source` (source text → assembly text) and
+:func:`compile_to_program` (source text → assembled
+:class:`~repro.isa.program.Program`).
+"""
+
+from repro.lang.compiler import (
+    CompileError,
+    CompilerOptions,
+    compile_source,
+    compile_to_program,
+)
+
+__all__ = [
+    "CompileError",
+    "CompilerOptions",
+    "compile_source",
+    "compile_to_program",
+]

@@ -1,0 +1,152 @@
+"""Abstract syntax tree for Mini-C.
+
+The tree is deliberately small: one scalar type (``int``), 1-D arrays,
+functions, and structured control flow.  ``for`` loops are desugared to
+``while`` by the parser, and ``&&``/``||`` survive to lowering (they
+need short-circuit control flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+# --------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = -1
+
+
+@dataclass
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class ArrayRef(Expr):
+    name: str = ""
+    index: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = ""  # '-', '!', '~'
+    operand: Expr = None
+
+
+# --------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = -1
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr = None
+    then_body: Stmt = None
+    else_body: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    size: Optional[int] = None  # array length, None for scalars
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    name: str = ""
+    value: Expr = None
+
+
+@dataclass
+class ArrayAssign(Stmt):
+    name: str = ""
+    index: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+# --------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    size: Optional[int]  # array length, None for scalars
+    init: List[int]  # initial values (empty -> zero)
+    line: int = -1
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    params: List[str]
+    returns_value: bool
+    body: Block
+    line: int = -1
+
+
+@dataclass
+class ProgramAST:
+    globals: List[GlobalVar] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)

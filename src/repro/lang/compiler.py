@@ -1,0 +1,65 @@
+"""Compiler driver: Mini-C source -> assembly -> Program.
+
+Optimization levels:
+
+* ``-O0``: no scheduling.  Baseline for the F3 experiment (how much
+  deadness does the scheduler add?).
+* ``-O2`` (default): speculative hoisting on (``max_hoist`` per branch
+  arm).
+
+Constant folding happens during lowering at every level (it is part of
+the translation, not an optimization pass here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.lang.codegen import generate_module
+from repro.lang.errors import CompileError
+from repro.lang.lower import lower_program
+from repro.lang.optimize import optimize_module
+from repro.lang.parser import parse
+from repro.lang.schedule import ScheduleOptions, hoist_module
+
+__all__ = ["CompileError", "CompilerOptions", "compile_source",
+           "compile_to_program"]
+
+
+@dataclass
+class CompilerOptions:
+    """Compilation knobs used by the experiments."""
+
+    #: 0 disables the hoisting scheduler; 2 (default) enables it.
+    opt_level: int = 2
+    #: maximum instructions hoisted per branch arm
+    max_hoist: int = 4
+    #: allow the scheduler to hoist loads (off by default: a hoisted
+    #: load may compute a wild address on the guarded-out path)
+    hoist_loads: bool = False
+    #: run the classic scalar passes (copy propagation + static DCE)
+    #: before scheduling.  Off by default so the canonical experiment
+    #: numbers are independent of it; the A5 experiment turns it on to
+    #: show static DCE cannot remove *dynamic* deadness.
+    scalar_opt: bool = False
+
+
+def compile_source(source: str, options: CompilerOptions = None) -> str:
+    """Compile Mini-C *source* to assembly text."""
+    if options is None:
+        options = CompilerOptions()
+    module = lower_program(parse(source))
+    if options.scalar_opt:
+        optimize_module(module)
+    if options.opt_level >= 2:
+        hoist_module(module, ScheduleOptions(max_hoist=options.max_hoist,
+                                             hoist_loads=options.hoist_loads))
+    return generate_module(module)
+
+
+def compile_to_program(source: str, options: CompilerOptions = None,
+                       name: str = "") -> Program:
+    """Compile Mini-C *source* all the way to an assembled Program."""
+    return assemble(compile_source(source, options), name=name)

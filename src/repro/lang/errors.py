@@ -1,0 +1,13 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+
+class CompileError(ValueError):
+    """Raised for lexical, syntactic, or semantic errors in Mini-C."""
+
+    def __init__(self, message: str, line: int = -1):
+        if line >= 0:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line

@@ -1,0 +1,149 @@
+"""Classic scalar optimizations: copy propagation and static DCE.
+
+These passes are the compile-time counterpart of the paper's dynamic
+technique — and the A5 experiment uses them to show why they cannot
+substitute for it.  Static dead-code elimination removes an instruction
+only when its value is dead on **every** path (provable from the CFG);
+the deadness the paper measures is *dynamic* — instructions dead on the
+paths actually taken, alive on others — which is invisible to any
+sound compile-time analysis.
+
+Passes (both iterate to a local fixpoint):
+
+* :func:`propagate_copies` — block-local copy/constant propagation:
+  after ``Move(dst, src)``, uses of ``dst`` read ``src`` directly until
+  either side is redefined.
+* :func:`eliminate_dead_code` — CFG-liveness-driven removal of
+  side-effect-free instructions whose results are dead on all paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.lang import ir
+from repro.lang.liveness import compute_liveness
+
+
+@dataclass
+class OptStats:
+    """What the optimizer did (for -v output and tests)."""
+
+    copies_propagated: int = 0
+    instructions_removed: int = 0
+
+
+def _substitute(instr: ir.IRInstr, mapping: Dict[ir.VReg, ir.Operand],
+                stats: OptStats) -> None:
+    """Rewrite *instr*'s operand fields through *mapping* in place."""
+
+    def lookup(operand: ir.Operand) -> ir.Operand:
+        if isinstance(operand, ir.VReg) and operand in mapping:
+            stats.copies_propagated += 1
+            return mapping[operand]
+        return operand
+
+    if isinstance(instr, ir.Move):
+        instr.src = lookup(instr.src)
+    elif isinstance(instr, ir.BinOp):
+        instr.a = lookup(instr.a)
+        instr.b = lookup(instr.b)
+    elif isinstance(instr, ir.UnOp):
+        instr.a = lookup(instr.a)
+    elif isinstance(instr, ir.Store):
+        instr.src = lookup(instr.src)
+        # base must stay a VReg; only rewrite register-to-register.
+        replacement = mapping.get(instr.base)
+        if isinstance(replacement, ir.VReg):
+            stats.copies_propagated += 1
+            instr.base = replacement
+    elif isinstance(instr, ir.Load):
+        replacement = mapping.get(instr.base)
+        if isinstance(replacement, ir.VReg):
+            stats.copies_propagated += 1
+            instr.base = replacement
+    elif isinstance(instr, ir.StoreGlobal):
+        instr.src = lookup(instr.src)
+    elif isinstance(instr, ir.Call):
+        instr.args = [lookup(argument) for argument in instr.args]
+    elif isinstance(instr, ir.Print):
+        instr.value = lookup(instr.value)
+    elif isinstance(instr, ir.CondBr):
+        instr.a = lookup(instr.a)
+        instr.b = lookup(instr.b)
+    elif isinstance(instr, ir.Ret):
+        if instr.value is not None:
+            instr.value = lookup(instr.value)
+
+
+def propagate_copies(function: ir.IRFunction,
+                     stats: OptStats = None) -> OptStats:
+    """Block-local copy/constant propagation, in place."""
+    if stats is None:
+        stats = OptStats()
+    for block in function.blocks:
+        mapping: Dict[ir.VReg, ir.Operand] = {}
+        instrs = list(block.instrs)
+        if block.terminator is not None:
+            instrs.append(block.terminator)
+        for instr in instrs:
+            _substitute(instr, mapping, stats)
+            defs = instr.defs()
+            for defined in defs:
+                # A new definition invalidates copies of the target
+                # and every copy reading it.
+                mapping.pop(defined, None)
+                stale = [dst for dst, src in mapping.items()
+                         if src == defined]
+                for dst in stale:
+                    del mapping[dst]
+            if isinstance(instr, ir.Move) and instr.dst != instr.src:
+                mapping[instr.dst] = instr.src
+    return stats
+
+
+#: instruction types static DCE may delete when the result is dead;
+#: loads are architecturally removable too but are kept (matching the
+#: hoisting pass's conservatism about addresses).
+_REMOVABLE = (ir.Const, ir.Move, ir.BinOp, ir.UnOp, ir.GlobalAddr,
+              ir.FrameAddr)
+
+
+def eliminate_dead_code(function: ir.IRFunction,
+                        stats: OptStats = None) -> OptStats:
+    """Remove side-effect-free instructions dead on every path."""
+    if stats is None:
+        stats = OptStats()
+    changed = True
+    while changed:
+        changed = False
+        liveness = compute_liveness(function)
+        for block in function.blocks:
+            live: Set[ir.VReg] = set(liveness.live_out[block.label])
+            if block.terminator is not None:
+                live.update(block.terminator.uses())
+            kept = []
+            for instr in reversed(block.instrs):
+                defs = instr.defs()
+                if (isinstance(instr, _REMOVABLE) and defs
+                        and defs[0] not in live):
+                    stats.instructions_removed += 1
+                    changed = True
+                    continue
+                for defined in defs:
+                    live.discard(defined)
+                live.update(instr.uses())
+                kept.append(instr)
+            kept.reverse()
+            block.instrs = kept
+    return stats
+
+
+def optimize_module(module: ir.IRModule) -> OptStats:
+    """Run copy propagation then static DCE over every function."""
+    stats = OptStats()
+    for function in module.functions:
+        propagate_copies(function, stats)
+        eliminate_dead_code(function, stats)
+    return stats

@@ -1,0 +1,168 @@
+"""Linear-scan register allocation.
+
+Virtual registers are mapped to the ABI's allocatable pools:
+
+* caller-saved temporaries ``t0``-``t9`` — free to use, but clobbered
+  by calls, so only intervals that do not span a call site get them;
+* callee-saved ``s0``-``s7`` — survive calls, but the function must
+  save and restore every one it touches (that save/restore code is the
+  paper's second recognized source of dead instructions; codegen tags
+  it ``callee-save``);
+* anything that fits in neither pool spills to a stack slot, accessed
+  through the reserved scratch registers ``k0``/``k1``.
+
+Intervals are conservative whole-range approximations ([first point
+where the vreg is live or defined, last point where it is live or
+used], with block live-in/live-out points included so values live
+across loop back edges cover the whole loop).  Allocation is the
+classic Poletto/Sarkar scan: sort by start, expire actives, assign from
+the preferred pool, spill when both pools are exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lang.ir import Call, IRFunction, VReg
+from repro.lang.liveness import compute_liveness
+
+CALLER_SAVED = tuple("t%d" % i for i in range(10))
+CALLEE_SAVED = tuple("s%d" % i for i in range(8))
+
+
+@dataclass
+class Location:
+    """Where a vreg lives: a register name or a spill slot index."""
+
+    register: Optional[str] = None
+    spill_slot: Optional[int] = None
+
+    @property
+    def is_spilled(self) -> bool:
+        return self.spill_slot is not None
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation for one function."""
+
+    locations: Dict[VReg, Location] = field(default_factory=dict)
+    used_callee_saved: List[str] = field(default_factory=list)
+    n_spill_slots: int = 0
+    has_calls: bool = False
+
+    def location(self, vreg: VReg) -> Location:
+        return self.locations[vreg]
+
+
+@dataclass
+class _Interval:
+    vreg: VReg
+    start: int
+    end: int
+    crosses_call: bool = False
+
+
+def _build_intervals(function: IRFunction) -> Tuple[List[_Interval], bool]:
+    """Conservative live intervals over the linearized instruction list."""
+    liveness = compute_liveness(function)
+
+    starts: Dict[VReg, int] = {}
+    ends: Dict[VReg, int] = {}
+    call_positions: List[int] = []
+
+    def touch(vreg: VReg, position: int) -> None:
+        if vreg not in starts:
+            starts[vreg] = position
+            ends[vreg] = position
+        else:
+            if position < starts[vreg]:
+                starts[vreg] = position
+            if position > ends[vreg]:
+                ends[vreg] = position
+
+    position = 0
+    for block in function.blocks:
+        block_start = position
+        for vreg in liveness.live_in[block.label]:
+            touch(vreg, block_start)
+        instrs = list(block.instrs)
+        if block.terminator is not None:
+            instrs.append(block.terminator)
+        for instr in instrs:
+            for vreg in instr.uses():
+                touch(vreg, position)
+            for vreg in instr.defs():
+                touch(vreg, position)
+            if isinstance(instr, Call):
+                call_positions.append(position)
+            position += 1
+        block_end = position - 1 if position > block_start else block_start
+        for vreg in liveness.live_out[block.label]:
+            touch(vreg, block_end)
+
+    intervals = [
+        _Interval(vreg=vreg, start=starts[vreg], end=ends[vreg])
+        for vreg in starts
+    ]
+    for interval in intervals:
+        interval.crosses_call = any(
+            interval.start < call < interval.end
+            for call in call_positions)
+    intervals.sort(key=lambda interval: (interval.start, interval.vreg.id))
+    return intervals, bool(call_positions)
+
+
+def allocate_registers(function: IRFunction) -> Allocation:
+    """Assign every vreg of *function* a register or a spill slot."""
+    intervals, has_calls = _build_intervals(function)
+    allocation = Allocation(has_calls=has_calls)
+
+    free_caller: List[str] = list(CALLER_SAVED)
+    free_callee: List[str] = list(CALLEE_SAVED)
+    active: List[_Interval] = []  # sorted by end
+    register_of: Dict[VReg, str] = {}
+    used_callee: Set[str] = set()
+
+    def expire(current_start: int) -> None:
+        while active and active[0].end < current_start:
+            expired = active.pop(0)
+            register = register_of[expired.vreg]
+            if register in CALLEE_SAVED:
+                free_callee.append(register)
+            else:
+                free_caller.append(register)
+
+    def insert_active(interval: _Interval) -> None:
+        index = 0
+        while index < len(active) and active[index].end <= interval.end:
+            index += 1
+        active.insert(index, interval)
+
+    for interval in intervals:
+        expire(interval.start)
+        register: Optional[str] = None
+        if interval.crosses_call:
+            if free_callee:
+                register = free_callee.pop(0)
+        else:
+            if free_caller:
+                register = free_caller.pop(0)
+            elif free_callee:
+                # A short interval may borrow a callee-saved register;
+                # it costs a save/restore pair but avoids a spill.
+                register = free_callee.pop(0)
+        if register is None:
+            slot = allocation.n_spill_slots
+            allocation.n_spill_slots += 1
+            allocation.locations[interval.vreg] = Location(spill_slot=slot)
+            continue
+        register_of[interval.vreg] = register
+        if register in CALLEE_SAVED:
+            used_callee.add(register)
+        allocation.locations[interval.vreg] = Location(register=register)
+        insert_active(interval)
+
+    allocation.used_callee_saved = sorted(used_callee)
+    return allocation

@@ -1,0 +1,73 @@
+"""Set-associative cache hierarchy with LRU replacement.
+
+Timing-only model: an access returns its latency and updates hit/miss
+statistics; data values live in the functional trace.  Levels chain
+through ``parent`` (L1D -> L2 -> fixed-latency memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class Cache:
+    """One cache level (LRU, write-allocate, timing only)."""
+
+    def __init__(self, name: str, sets: int, ways: int, line_size: int,
+                 hit_latency: int, parent: Optional["Cache"] = None,
+                 parent_latency: int = 0):
+        if sets & (sets - 1) or line_size & (line_size - 1):
+            raise ValueError("sets and line_size must be powers of two")
+        self.name = name
+        self.sets = sets
+        self.ways = ways
+        self.line_shift = line_size.bit_length() - 1
+        self.hit_latency = hit_latency
+        self.parent = parent
+        #: latency of a miss served by a fixed-latency backing store
+        #: (used by the last level instead of a parent cache)
+        self.parent_latency = parent_latency
+        # Per set: list of tags in LRU order (last == most recent).
+        self.lines: List[List[int]] = [[] for _ in range(sets)]
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> int:
+        """Access *address*; return total latency in cycles."""
+        self.stats.accesses += 1
+        block = address >> self.line_shift
+        index = block & (self.sets - 1)
+        tag = block >> (self.sets.bit_length() - 1)
+        lru = self.lines[index]
+        if tag in lru:
+            lru.remove(tag)
+            lru.append(tag)
+            return self.hit_latency
+        self.stats.misses += 1
+        if len(lru) >= self.ways:
+            lru.pop(0)
+        lru.append(tag)
+        if self.parent is not None:
+            return self.hit_latency + self.parent.access(address)
+        return self.hit_latency + self.parent_latency
+
+
+def build_hierarchy(config) -> Cache:
+    """Build L1D -> L2 -> memory from a MachineConfig; return L1D."""
+    l2 = Cache("L2", config.l2_sets, config.l2_ways, config.l1d_line,
+               config.l2_latency, parent=None,
+               parent_latency=config.memory_latency)
+    return Cache("L1D", config.l1d_sets, config.l1d_ways, config.l1d_line,
+                 config.l1d_latency, parent=l2)

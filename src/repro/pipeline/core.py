@@ -1,0 +1,646 @@
+"""The out-of-order core: cycle loop, rename, issue, commit, recovery.
+
+One :class:`Simulator` instance runs one trace on one configuration.
+Stage order within a cycle is commit -> issue -> rename -> fetch, so a
+resource freed at commit is available to rename in the same cycle
+(idealized but consistent across configurations).
+
+Rename-map conventions: ``rat[arch]`` holds an ``int`` physical
+register, or an :class:`InFlight` object when the architectural
+register was last written by an *eliminated* (predicted-dead)
+instruction — that object is the paper's "squashed" token.  A
+non-eliminated instruction renaming a source to a token is the
+misprediction detector; an instruction renaming its *destination* over
+a token is the verifier.
+
+Soundness invariants of the elimination machinery (DESIGN.md §5.6):
+
+* An eliminated instruction may only commit once **verified**: its
+  destination has been renamed over by a younger instruction *and*
+  every eliminated instruction that renamed a source to its token is
+  itself verified (or squashed).  An unverified instruction at the ROB
+  head stalls, and after ``verify_timeout`` cycles is conservatively
+  recovered.
+* Recovery is by **replay** (default): the squashed instruction is
+  still in the ROB with its source mappings — whose physical registers
+  cannot have been freed while it is in flight — so it is allocated a
+  register and re-dispatched, together with the transitive chain of
+  eliminated producers it read from.  When replay resources are
+  unavailable, recovery falls back to a **flush**: a ROB walk from the
+  tail undoes rename mappings back to the oldest chain member, which
+  is then refetched with its prediction suppressed.
+* A token whose producer already *committed* (necessarily verified
+  dead) can be re-exposed in the RAT by a flush that rolls back past
+  the overwriter.  Any instruction subsequently renaming that token as
+  a source is itself dynamically dead (stores cannot be — a live read
+  would have prevented the verified commit), so the source is treated
+  as ready garbage rather than triggering an impossible recovery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.liveness import DeadnessAnalysis, analyze_deadness
+from repro.analysis.statics import StaticTable
+from repro.emulator.trace import Trace
+from repro.isa.instructions import Opcode
+from repro.pipeline.cache import build_hierarchy
+from repro.pipeline.config import MachineConfig, default_config
+from repro.pipeline.elimination import EliminationEngine
+from repro.pipeline.stats import PipelineStats
+from repro.predictors.branch import GshareBranchPredictor, ReturnAddressStack
+
+_INF = 1 << 60
+
+# Function-unit classes.
+_FU_ALU, _FU_MUL, _FU_DIV, _FU_MEM, _FU_BRANCH = range(5)
+
+_NUM_ARCH = 32
+
+
+class InFlight:
+    """One in-flight instruction (ROB entry)."""
+
+    __slots__ = ("seq", "tidx", "sidx", "pc", "fu", "srcs", "src_tokens",
+                 "token_readers", "arch_dest", "new_preg", "old_preg",
+                 "is_load", "is_store", "mispredict", "eliminated",
+                 "verified", "verifies", "verified_by", "issued",
+                 "done_at", "squashed", "committed", "recovered",
+                 "stall_cycles")
+
+    def __init__(self, seq: int, tidx: int, sidx: int, pc: int, fu: int):
+        self.seq = seq
+        self.tidx = tidx
+        self.sidx = sidx
+        self.pc = pc
+        self.fu = fu
+        self.srcs: List[int] = []
+        self.src_tokens: List["InFlight"] = []
+        self.token_readers: List["InFlight"] = []
+        self.arch_dest = 0
+        self.new_preg: Optional[int] = None
+        self.old_preg = None  # int or InFlight token
+        self.is_load = False
+        self.is_store = False
+        self.mispredict = False
+        self.eliminated = False
+        self.verified = False
+        self.verifies: Optional["InFlight"] = None
+        self.verified_by: Optional["InFlight"] = None
+        self.issued = False
+        self.done_at = _INF
+        self.squashed = False
+        self.committed = False
+        self.recovered = False
+        self.stall_cycles = 0
+
+    def commit_ready(self) -> bool:
+        """May this verified eliminated instruction commit?"""
+        if not self.verified:
+            return False
+        for reader in self.token_readers:
+            if reader.eliminated and not (reader.verified
+                                          or reader.squashed):
+                return False
+        return True
+
+
+@dataclass
+class PipelineResult:
+    """Everything one simulation run produced."""
+
+    config: MachineConfig
+    stats: PipelineStats
+    l1d_misses: int = 0
+    l2_misses: int = 0
+
+
+def _classify_fu(statics: StaticTable) -> List[int]:
+    fu = []
+    for index in range(len(statics)):
+        opcode = statics.opcode[index]
+        if statics.is_load[index] or statics.is_store[index]:
+            fu.append(_FU_MEM)
+        elif statics.is_branch[index]:
+            fu.append(_FU_BRANCH)
+        elif opcode in (Opcode.MUL, Opcode.MULH):
+            fu.append(_FU_MUL)
+        elif opcode in (Opcode.DIV, Opcode.REM):
+            fu.append(_FU_DIV)
+        else:
+            fu.append(_FU_ALU)
+    return fu
+
+
+def _control_flags(trace: Trace, statics: StaticTable,
+                   config: MachineConfig):
+    """Precompute, per dynamic instruction, whether it mispredicts and
+    whether it ends the fetch group (actual-taken control transfer)."""
+    gshare = GshareBranchPredictor(config.gshare_entries,
+                                   config.gshare_history)
+    ras = ReturnAddressStack(config.ras_depth)
+    pcs = trace.pcs
+    taken = trace.taken
+    n = len(pcs)
+    mispredict = [False] * n
+    ends_group = [False] * n
+    is_cond = statics.is_cond_branch
+    opcode = statics.opcode
+    for i in range(n):
+        si = pcs[i] >> 2
+        if is_cond[si]:
+            outcome = taken[i]
+            predicted = gshare.predict_and_update(pcs[i], outcome)
+            mispredict[i] = predicted != outcome
+            ends_group[i] = outcome
+        elif statics.is_branch[si]:
+            ends_group[i] = True
+            op = opcode[si]
+            if op == Opcode.JAL:
+                ras.push(pcs[i] + 4)
+            elif op == Opcode.JALR:
+                actual_target = pcs[i + 1] if i + 1 < n else -1
+                mispredict[i] = not ras.predict_return(actual_target)
+    return mispredict, ends_group
+
+
+class Simulator:
+    """Trace-driven out-of-order timing simulation of one run."""
+
+    def __init__(self, trace: Trace, config: MachineConfig = None,
+                 analysis: DeadnessAnalysis = None):
+        self.trace = trace
+        self.config = config if config is not None else default_config()
+        if analysis is None:
+            analysis = analyze_deadness(trace)
+        self.analysis = analysis
+        self.statics = analysis.statics
+        self.stats = PipelineStats()
+        self.l1d = build_hierarchy(self.config)
+        self.elimination: Optional[EliminationEngine] = None
+        if self.config.eliminate:
+            self.elimination = EliminationEngine(self.config, analysis)
+        self._mispredict, self._ends_group = _control_flags(
+            trace, self.statics, self.config)
+        self._fu_class = _classify_fu(self.statics)
+        config = self.config
+        self._latency = [config.alu_latency, config.mul_latency,
+                         config.div_latency, config.agen_latency,
+                         config.branch_latency]
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 50_000_000) -> PipelineResult:
+        trace = self.trace
+        config = self.config
+        stats = self.stats
+        statics = self.statics
+        pcs = trace.pcs
+        addrs = trace.addrs
+        n = len(pcs)
+
+        s_dest = statics.dest
+        s_src1 = statics.src1
+        s_src2 = statics.src2
+        s_eligible = statics.eligible
+        s_load = statics.is_load
+        s_store = statics.is_store
+        fu_class = self._fu_class
+        latencies = self._latency
+        mispredict_flags = self._mispredict
+        ends_group = self._ends_group
+        elim = self.elimination
+        train_stores = config.eliminate_stores
+        use_replay = config.recovery_mode == "replay"
+
+        # Rename state: merged physical register file.
+        rat: List[object] = list(range(_NUM_ARCH))
+        # The replay reserve is additional storage brought by the
+        # elimination hardware itself; rename never sees it, so the
+        # baseline and elimination configurations expose identical
+        # renaming headroom.
+        preg_reserve = (config.replay_reserve_pregs
+                        if config.eliminate else 0)
+        total_pregs = config.phys_regs + preg_reserve
+        free_list = deque(range(_NUM_ARCH, total_pregs))
+        ready_at = [0] * total_pregs
+
+        rob: deque = deque()
+        iq: List[InFlight] = []
+        lsq_used = 0
+        fetch_queue: deque = deque()
+        fetch_buffer_cap = 3 * config.fetch_width
+
+        fetch_idx = 0
+        fetch_resume = 0
+        rename_blocked_until = 0
+        committed = 0
+        seq = 0
+        cycle = 0
+
+        fu_limits = (config.alu_units, config.mul_units, config.div_units,
+                     config.mem_ports, config.branch_units)
+
+        while committed < n:
+            if cycle >= max_cycles:
+                raise RuntimeError("simulation did not finish in %d cycles"
+                                   % max_cycles)
+
+            # ---- commit ----
+            commits = 0
+            while rob and commits < config.commit_width:
+                head = rob[0]
+                if head.eliminated:
+                    if not head.commit_ready():
+                        stats.verify_stall_cycles += 1
+                        head.stall_cycles += 1
+                        if head.stall_cycles > config.verify_timeout:
+                            stats.timeout_recoveries += 1
+                            chain = self._collect_chain(head)
+                            new_lsq = None
+                            if use_replay:
+                                new_lsq = self._try_replay(
+                                    chain, iq, rat, free_list, ready_at,
+                                    lsq_used)
+                            if new_lsq is not None:
+                                lsq_used = new_lsq
+                                rename_blocked_until = max(
+                                    rename_blocked_until,
+                                    cycle + config.replay_penalty)
+                            else:
+                                self._flush(chain[0], rob, iq, rat,
+                                            free_list)
+                                fetch_queue.clear()
+                                fetch_idx = chain[0].tidx
+                                fetch_resume = cycle + \
+                                    config.recovery_penalty
+                                lsq_used = self._recount_lsq(rob)
+                        break
+                else:
+                    if head.done_at > cycle:
+                        break
+                rob.popleft()
+                head.committed = True
+                tidx = head.tidx
+                if head.is_store and not head.eliminated:
+                    stats.dcache_accesses += 1
+                    self.l1d.access(addrs[tidx])
+                    lsq_used -= 1
+                elif head.is_load and not head.eliminated:
+                    lsq_used -= 1
+                if head.arch_dest:
+                    old = head.old_preg
+                    if isinstance(old, int):
+                        free_list.append(old)
+                        stats.preg_frees += 1
+                    # Token old mapping: the eliminated producer had no
+                    # physical register -- a saved allocation and free.
+                if elim is not None and head.eliminated \
+                        and not head.recovered:
+                    elim.note_success(head.pc)
+                if elim is not None and not head.recovered and (
+                        s_eligible[head.sidx] or
+                        (train_stores and s_store[head.sidx])):
+                    # Instructions that forced a recovery already
+                    # trained "live" there; training them dead again at
+                    # commit would re-arm the same costly prediction.
+                    elim.train_commit(tidx, head.pc)
+                committed += 1
+                commits += 1
+                if elim is not None and not committed & 1023:
+                    elim.decay_strikes()
+            if committed >= n:
+                stats.cycles = cycle + 1
+                break
+
+            # ---- issue ----
+            fu_used = [0, 0, 0, 0, 0]
+            rf_reads_left = config.rf_read_ports
+            issued = 0
+            if iq:
+                remaining: List[InFlight] = []
+                for entry in iq:
+                    if entry.squashed:
+                        continue
+                    if issued >= config.issue_width:
+                        remaining.append(entry)
+                        continue
+                    fu = entry.fu
+                    if fu_used[fu] >= fu_limits[fu]:
+                        remaining.append(entry)
+                        continue
+                    reads = len(entry.srcs)
+                    if reads > rf_reads_left:
+                        remaining.append(entry)
+                        continue
+                    ready = True
+                    for preg in entry.srcs:
+                        if ready_at[preg] > cycle:
+                            ready = False
+                            break
+                    if not ready:
+                        remaining.append(entry)
+                        continue
+                    # Issue it.
+                    fu_used[fu] += 1
+                    rf_reads_left -= reads
+                    stats.rf_reads += reads
+                    issued += 1
+                    latency = latencies[fu]
+                    if entry.is_load:
+                        stats.dcache_accesses += 1
+                        latency += self.l1d.access(addrs[entry.tidx])
+                    entry.done_at = cycle + latency
+                    entry.issued = True
+                    if entry.new_preg is not None:
+                        ready_at[entry.new_preg] = entry.done_at
+                        stats.rf_writes += 1
+                    if entry.mispredict:
+                        fetch_resume = entry.done_at + \
+                            config.redirect_penalty
+                iq = remaining
+
+            # ---- rename / dispatch ----
+            renamed = 0
+            flush_fired = False
+            while (renamed < config.rename_width and fetch_queue
+                   and cycle >= rename_blocked_until):
+                tidx = fetch_queue[0]
+                sidx = pcs[tidx] >> 2
+                pc = pcs[tidx]
+                if len(rob) >= config.rob_size:
+                    stats.rename_stalls_rob += 1
+                    break
+                is_load = s_load[sidx]
+                is_store = s_store[sidx]
+                dest = s_dest[sidx]
+
+                eliminated = False
+                if elim is not None:
+                    if (s_eligible[sidx] or
+                            (is_store and config.eliminate_stores)):
+                        stats.elim_predictions += 1
+                        eliminated = elim.should_eliminate(tidx, pc)
+
+                if not eliminated:
+                    if len(iq) >= config.iq_size:
+                        stats.rename_stalls_iq += 1
+                        break
+                    if (is_load or is_store) and \
+                            lsq_used >= config.lsq_size:
+                        stats.rename_stalls_lsq += 1
+                        break
+                    if dest and len(free_list) <= preg_reserve:
+                        stats.rename_stalls_preg += 1
+                        break
+
+                # Read source mappings.  A live consumer finding a
+                # squashed token is the dead-misprediction detector.
+                srcs: List[int] = []
+                src_tokens: List[InFlight] = []
+                dead_producer: Optional[InFlight] = None
+                for src in (s_src1[sidx], s_src2[sidx]):
+                    if src <= 0:
+                        continue
+                    mapping = rat[src]
+                    if isinstance(mapping, InFlight):
+                        if mapping.committed:
+                            # Verified-dead producer re-exposed by a
+                            # flush: this consumer is itself dead, the
+                            # value is architectural garbage (sound,
+                            # see module docstring).
+                            continue
+                        if eliminated:
+                            src_tokens.append(mapping)
+                        else:
+                            dead_producer = mapping
+                            break
+                    else:
+                        srcs.append(mapping)
+
+                if dead_producer is not None:
+                    stats.reader_recoveries += 1
+                    chain = self._collect_chain(dead_producer)
+                    new_lsq = None
+                    if use_replay:
+                        new_lsq = self._try_replay(chain, iq, rat,
+                                                   free_list, ready_at,
+                                                   lsq_used)
+                    if new_lsq is not None:
+                        lsq_used = new_lsq
+                        rename_blocked_until = cycle + \
+                            config.replay_penalty
+                        # The consumer renames once the stall expires.
+                        break
+                    self._flush(chain[0], rob, iq, rat, free_list)
+                    fetch_queue.clear()
+                    fetch_idx = chain[0].tidx
+                    fetch_resume = cycle + config.recovery_penalty
+                    lsq_used = self._recount_lsq(rob)
+                    flush_fired = True
+                    break
+
+                entry = InFlight(seq, tidx, sidx, pc, fu_class[sidx])
+                seq += 1
+                entry.srcs = srcs
+                entry.is_load = is_load
+                entry.is_store = is_store
+                entry.mispredict = mispredict_flags[tidx]
+                entry.eliminated = eliminated
+                if eliminated:
+                    entry.src_tokens = src_tokens
+                    for token in src_tokens:
+                        token.token_readers.append(entry)
+
+                if dest:
+                    old = rat[dest]
+                    entry.arch_dest = dest
+                    entry.old_preg = old
+                    if isinstance(old, InFlight) and not old.committed \
+                            and old.eliminated and not old.verified:
+                        # Overwriting a squashed mapping verifies that
+                        # the eliminated producer really was dead.
+                        old.verified = True
+                        old.verified_by = entry
+                        entry.verifies = old
+                    if eliminated:
+                        rat[dest] = entry
+                    else:
+                        preg = free_list.popleft()
+                        rat[dest] = preg
+                        ready_at[preg] = _INF
+                        entry.new_preg = preg
+                        stats.preg_allocs += 1
+                elif eliminated and is_store:
+                    # An eliminated store poisons no rename mapping; its
+                    # deadness is verified by the overwriting store in
+                    # the memory-order queue, which this timing model
+                    # treats as immediate.
+                    entry.verified = True
+
+                if eliminated:
+                    stats.eliminated += 1
+                    entry.done_at = cycle  # never executes
+                else:
+                    iq.append(entry)
+                    if is_load or is_store:
+                        lsq_used += 1
+                rob.append(entry)
+                fetch_queue.popleft()
+                renamed += 1
+            if flush_fired:
+                cycle += 1
+                continue
+
+            # ---- fetch ----
+            if cycle >= fetch_resume and fetch_idx < n:
+                fetched = 0
+                while (fetched < config.fetch_width
+                       and len(fetch_queue) < fetch_buffer_cap
+                       and fetch_idx < n):
+                    tidx = fetch_idx
+                    fetch_queue.append(tidx)
+                    fetch_idx += 1
+                    fetched += 1
+                    sidx = pcs[tidx] >> 2
+                    if statics.is_cond_branch[sidx]:
+                        stats.branches += 1
+                    if mispredict_flags[tidx]:
+                        stats.branch_mispredicts += 1
+                        fetch_resume = _INF  # until it resolves
+                        break
+                    if ends_group[tidx]:
+                        break
+
+            cycle += 1
+
+        stats.committed = committed
+        stats.dcache_misses = self.l1d.stats.misses
+        stats.recoveries = (stats.reader_recoveries
+                            + stats.timeout_recoveries)
+        result = PipelineResult(config=self.config, stats=stats)
+        result.l1d_misses = self.l1d.stats.misses
+        if self.l1d.parent is not None:
+            result.l2_misses = self.l1d.parent.stats.misses
+        return result
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def _collect_chain(self, target: InFlight) -> List[InFlight]:
+        """The eliminated instructions that must re-execute to
+        materialize *target*'s value: target plus, transitively, every
+        still-eliminated, uncommitted producer it read a token from.
+        Sorted oldest first; every member is in the ROB (guaranteed by
+        the commit gating, see module docstring)."""
+        chain: List[InFlight] = []
+        seen = set()
+
+        def visit(entry: InFlight) -> None:
+            if id(entry) in seen:
+                return
+            seen.add(id(entry))
+            for token in entry.src_tokens:
+                if token.committed or not token.eliminated:
+                    continue
+                visit(token)
+            chain.append(entry)
+
+        visit(target)
+        chain.sort(key=lambda entry: entry.seq)
+        return chain
+
+    def _try_replay(self, chain: List[InFlight], iq: List[InFlight],
+                    rat: List[object], free_list: deque,
+                    ready_at: List[int], lsq_used: int) -> Optional[int]:
+        """Re-dispatch every chain member from the ROB; return the new
+        LSQ occupancy, or None when resources do not allow it (the
+        caller falls back to a flush)."""
+        stats = self.stats
+        pregs_needed = sum(1 for entry in chain if entry.arch_dest)
+        if pregs_needed > len(free_list):
+            # Without registers the values cannot be materialized;
+            # the caller falls back to a flush (which frees plenty).
+            return None
+        # Replay entries may transiently overflow the IQ/LSQ: they
+        # re-enter from the ROB while rename is stalled for
+        # replay_penalty cycles, so the structural overshoot is bounded
+        # by the chain length and drains immediately.
+
+        for entry in chain:
+            entry.eliminated = False
+            entry.verified = False
+            entry.done_at = _INF
+            if entry.arch_dest:
+                preg = free_list.popleft()
+                entry.new_preg = preg
+                ready_at[preg] = _INF
+                stats.preg_allocs += 1
+                if rat[entry.arch_dest] is entry:
+                    rat[entry.arch_dest] = preg
+                elif entry.verified_by is not None and \
+                        entry.verified_by.old_preg is entry:
+                    # Already renamed over: hand the register to the
+                    # overwriter's old-mapping slot so it is freed at
+                    # the overwriter's commit (no leak).
+                    entry.verified_by.old_preg = preg
+            # Wire up values from producers replayed in this chain.
+            for token in entry.src_tokens:
+                if token.new_preg is not None:
+                    entry.srcs.append(token.new_preg)
+            entry.src_tokens = []
+            iq.append(entry)
+            if entry.is_load or entry.is_store:
+                lsq_used += 1
+            stats.replayed += 1
+            entry.recovered = True
+            if self.elimination is not None:
+                self.elimination.note_recovery(entry.tidx, entry.pc)
+        return lsq_used
+
+    def _flush(self, target: InFlight, rob: deque, iq: List[InFlight],
+               rat: List[object], free_list: deque) -> None:
+        """Squash from the ROB tail back to and including *target*,
+        undoing rename mappings in reverse order; the caller resets the
+        fetch stream to the target's trace index."""
+        stats = self.stats
+        stats.flush_recoveries += 1
+        while rob:
+            entry = rob[-1]
+            if entry.seq < target.seq:
+                break
+            rob.pop()
+            entry.squashed = True
+            stats.squashed += 1
+            if entry.arch_dest:
+                rat[entry.arch_dest] = entry.old_preg
+                if entry.new_preg is not None:
+                    free_list.append(entry.new_preg)
+                    entry.new_preg = None
+            if entry.verifies is not None:
+                entry.verifies.verified = False
+                entry.verifies = None
+        for entry in iq:
+            if entry.seq >= target.seq:
+                entry.squashed = True
+        target.recovered = True
+        if self.elimination is not None:
+            self.elimination.note_recovery(target.tidx, target.pc)
+
+    @staticmethod
+    def _recount_lsq(rob: deque) -> int:
+        return sum(1 for entry in rob
+                   if (entry.is_load or entry.is_store)
+                   and not entry.eliminated)
+
+
+def simulate(trace: Trace, config: MachineConfig = None,
+             analysis: DeadnessAnalysis = None) -> PipelineResult:
+    """Run *trace* through the timing model under *config*."""
+    return Simulator(trace, config, analysis).run()

@@ -1,0 +1,63 @@
+"""Pipeline event counters — the quantities the paper reports.
+
+The F7 experiment compares these between the baseline and elimination
+runs: physical-register management (allocations and frees), register
+file read/write traffic, and data-cache accesses.  Events are counted
+as they happen, so recovery-induced re-execution honestly shows up as
+extra traffic in the elimination configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PipelineStats:
+    """All counters of one simulation run."""
+
+    cycles: int = 0
+    committed: int = 0
+
+    # Resource events (the paper's utilization metrics).
+    preg_allocs: int = 0
+    preg_frees: int = 0
+    rf_reads: int = 0
+    rf_writes: int = 0
+    dcache_accesses: int = 0
+    dcache_misses: int = 0
+
+    # Front end.
+    branches: int = 0
+    branch_mispredicts: int = 0
+
+    # Elimination machinery.
+    eliminated: int = 0
+    elim_predictions: int = 0
+    recoveries: int = 0
+    reader_recoveries: int = 0
+    timeout_recoveries: int = 0
+    replayed: int = 0
+    flush_recoveries: int = 0
+    verify_stall_cycles: int = 0
+    squashed: int = 0
+
+    # Back-pressure diagnostics.
+    rename_stalls_preg: int = 0
+    rename_stalls_iq: int = 0
+    rename_stalls_rob: int = 0
+    rename_stalls_lsq: int = 0
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.committed / self.cycles
+
+    def summary(self) -> str:
+        return ("cycles=%d committed=%d ipc=%.3f allocs=%d frees=%d "
+                "rf_r=%d rf_w=%d d$=%d elim=%d recov=%d" % (
+                    self.cycles, self.committed, self.ipc,
+                    self.preg_allocs, self.preg_frees, self.rf_reads,
+                    self.rf_writes, self.dcache_accesses,
+                    self.eliminated, self.recoveries))

@@ -1,0 +1,49 @@
+"""Prediction structures: branch predictors and dead-instruction
+predictors.
+
+:mod:`repro.predictors.branch` provides the front-end control-flow
+predictors (bimodal, gshare, return-address stack) that both feed the
+timing simulator and supply the *future control flow* information the
+paper's dead-instruction predictor keys on.
+
+:mod:`repro.predictors.dead` contains the paper's contribution: the
+path-refined dead-instruction predictor, the PC-only baseline, the
+oracle, and the trace-driven evaluation harness with hardware state
+accounting.
+"""
+
+from repro.predictors.branch import (
+    BimodalBranchPredictor,
+    BranchStats,
+    GshareBranchPredictor,
+    ReturnAddressStack,
+)
+from repro.predictors.dead import (
+    BimodalDeadPredictor,
+    HistoryDeadPredictor,
+    DeadPredictionStats,
+    DeadPredictor,
+    OracleDeadPredictor,
+    PathDeadPredictor,
+    PathInfo,
+    ProfileDeadPredictor,
+    compute_paths,
+    evaluate_predictor,
+)
+
+__all__ = [
+    "BimodalBranchPredictor",
+    "BimodalDeadPredictor",
+    "BranchStats",
+    "DeadPredictionStats",
+    "DeadPredictor",
+    "GshareBranchPredictor",
+    "HistoryDeadPredictor",
+    "OracleDeadPredictor",
+    "PathDeadPredictor",
+    "PathInfo",
+    "ProfileDeadPredictor",
+    "ReturnAddressStack",
+    "compute_paths",
+    "evaluate_predictor",
+]

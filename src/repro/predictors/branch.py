@@ -1,0 +1,130 @@
+"""Branch direction predictors and the return-address stack.
+
+These are the standard front-end structures of the simulated machine.
+The dead-instruction predictor's key input — predicted outcomes of
+upcoming branches — comes from :class:`GshareBranchPredictor` exactly
+as a real front end would provide it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class BranchStats:
+    """Direction-prediction accuracy counters."""
+
+    lookups: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.correct / self.lookups
+
+    def record(self, predicted: bool, actual: bool) -> None:
+        self.lookups += 1
+        if predicted == actual:
+            self.correct += 1
+
+
+class BimodalBranchPredictor:
+    """PC-indexed 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 2048):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.counters: List[int] = [1] * entries  # weakly not-taken
+        self.stats = BranchStats()
+
+    def predict(self, pc: int) -> bool:
+        return self.counters[(pc >> 2) & (self.entries - 1)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = (pc >> 2) & (self.entries - 1)
+        counter = self.counters[index]
+        if taken:
+            if counter < 3:
+                self.counters[index] = counter + 1
+        else:
+            if counter > 0:
+                self.counters[index] = counter - 1
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Trace-driven convenience: predict, record, train."""
+        predicted = self.predict(pc)
+        self.stats.record(predicted, taken)
+        self.update(pc, taken)
+        return predicted
+
+    def storage_bits(self) -> int:
+        return 2 * self.entries
+
+
+class GshareBranchPredictor:
+    """Global-history predictor: (pc >> 2) XOR history indexes 2-bit
+    counters; the global history register is updated speculatively by
+    the trace-driven harness with actual outcomes (committed-path
+    history, the standard trace methodology)."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.counters: List[int] = [1] * entries
+        self.history = 0
+        self.stats = BranchStats()
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self.history) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self.counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self.counters[index]
+        if taken:
+            if counter < 3:
+                self.counters[index] = counter + 1
+        else:
+            if counter > 0:
+                self.counters[index] = counter - 1
+        self.history = ((self.history << 1) | int(taken)) \
+            & self.history_mask
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        predicted = self.predict(pc)
+        self.stats.record(predicted, taken)
+        self.update(pc, taken)
+        return predicted
+
+    def storage_bits(self) -> int:
+        return 2 * self.entries + self.history_bits
+
+
+class ReturnAddressStack:
+    """Bounded return-address stack for ``jal``/``jalr`` prediction."""
+
+    def __init__(self, depth: int = 16):
+        self.depth = depth
+        self.stack: List[int] = []
+        self.stats = BranchStats()
+
+    def push(self, return_pc: int) -> None:
+        if len(self.stack) == self.depth:
+            self.stack.pop(0)
+        self.stack.append(return_pc)
+
+    def predict_return(self, actual_target: int) -> bool:
+        """Pop a prediction; record whether it matched the real target."""
+        predicted = self.stack.pop() if self.stack else -1
+        correct = predicted == actual_target
+        self.stats.record(correct, True)
+        return correct

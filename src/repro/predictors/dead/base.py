@@ -1,0 +1,79 @@
+"""Predictor interface and the accuracy/coverage statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DeadPredictionStats:
+    """The paper's two headline metrics plus their raw counters.
+
+    * **accuracy** = correct dead predictions / all dead predictions
+      (how often acting on a prediction is safe);
+    * **coverage** = correctly predicted dead instructions / all dead
+      instructions (how much of the opportunity is captured).
+    """
+
+    eligible: int = 0
+    dead: int = 0
+    predicted_dead: int = 0
+    true_positives: int = 0
+    false_positives: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if self.predicted_dead == 0:
+            return 1.0
+        return self.true_positives / self.predicted_dead
+
+    @property
+    def coverage(self) -> float:
+        if self.dead == 0:
+            return 0.0
+        return self.true_positives / self.dead
+
+    def record(self, predicted: bool, actually_dead: bool) -> None:
+        self.eligible += 1
+        if actually_dead:
+            self.dead += 1
+        if predicted:
+            self.predicted_dead += 1
+            if actually_dead:
+                self.true_positives += 1
+            else:
+                self.false_positives += 1
+
+    def summary(self) -> str:
+        return ("eligible=%d dead=%d predicted=%d accuracy=%.1f%% "
+                "coverage=%.1f%%" % (self.eligible, self.dead,
+                                     self.predicted_dead,
+                                     100 * self.accuracy,
+                                     100 * self.coverage))
+
+
+class DeadPredictor:
+    """Interface shared by all dead-instruction predictors.
+
+    ``predict`` receives the *predicted* future path (from the branch
+    predictor, as available in a real front end) and ``train`` the
+    *actual* resolved path (as available at commit).  ``index`` is the
+    dynamic instruction number; hardware predictors ignore it (only the
+    oracle uses it).
+    """
+
+    name = "abstract"
+
+    def predict(self, pc: int, predicted_path: int, index: int) -> bool:
+        raise NotImplementedError
+
+    def train(self, pc: int, dead: bool, actual_path: int,
+              index: int) -> None:
+        raise NotImplementedError
+
+    def storage_bits(self) -> int:
+        """Hardware state in bits (for the <5 KB claim)."""
+        raise NotImplementedError
+
+    def storage_kb(self) -> float:
+        return self.storage_bits() / 8192.0

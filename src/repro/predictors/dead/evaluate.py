@@ -1,0 +1,62 @@
+"""Trace-driven predictor evaluation.
+
+Walks the committed trace in order.  For each *eligible* instruction
+(produces a register value, no side effects — the same population the
+elimination hardware considers) the predictor is consulted with the
+predicted future path, then trained with the resolved outcome and the
+actual path, mirroring the lookup-at-rename / train-at-commit timing of
+the hardware scheme.  The few-hundred-instruction skew between rename
+and commit is not modelled here (the timing simulator models it); for
+steady-state accuracy/coverage it is irrelevant.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.liveness import DeadnessAnalysis
+from repro.predictors.dead.base import DeadPredictionStats, DeadPredictor
+from repro.predictors.dead.paths import PathInfo, compute_paths
+
+
+def evaluate_predictor(analysis: DeadnessAnalysis,
+                       predictor: DeadPredictor,
+                       paths: PathInfo = None,
+                       stats: DeadPredictionStats = None
+                       ) -> DeadPredictionStats:
+    """Run *predictor* over one labelled trace; return its statistics.
+
+    Pass an existing *stats* object to accumulate across workloads
+    (the paper reports suite-wide accuracy/coverage).
+    """
+    trace = analysis.trace
+    statics = analysis.statics
+    if paths is None:
+        paths = compute_paths(trace, statics)
+    if stats is None:
+        stats = DeadPredictionStats()
+
+    pcs = trace.pcs
+    taken = trace.taken
+    dead = analysis.dead
+    eligible = statics.eligible
+    is_cond = statics.is_cond_branch
+    predicted_paths = paths.predicted
+    actual_paths = paths.actual
+
+    predict = predictor.predict
+    train = predictor.train
+    record = stats.record
+    # History-based designs consume resolved branch outcomes as the
+    # walk passes each conditional branch.
+    note_branch = getattr(predictor, "note_branch", None)
+
+    for i in range(len(pcs)):
+        pc = pcs[i]
+        si = pc >> 2
+        if eligible[si]:
+            prediction = predict(pc, predicted_paths[i], i)
+            record(prediction, dead[i])
+            train(pc, dead[i], actual_paths[i], i)
+        elif note_branch is not None and is_cond[si]:
+            note_branch(taken[i])
+
+    return stats

@@ -1,0 +1,95 @@
+"""Future-control-flow paths: the predictor's key input.
+
+For every dynamic instruction *i*, the paper's predictor consults the
+outcomes of the next *N* conditional branches *after* i in fetch order.
+At lookup time only branch *predictions* exist; by training (commit)
+time the outcomes have resolved.  :func:`compute_paths` precomputes
+both views in one pass:
+
+* run a gshare predictor along the committed path, recording for each
+  conditional branch its predicted and actual outcome;
+* suffix-pack those outcome streams into N-bit signatures (bit 0 is the
+  nearest upcoming branch);
+* assign every instruction the signature of the first branch after it.
+
+End-of-trace instructions with fewer than N remaining branches get
+zero-padded signatures — a negligible edge effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.statics import StaticTable
+from repro.emulator.trace import Trace
+from repro.predictors.branch import BranchStats, GshareBranchPredictor
+
+
+@dataclass
+class PathInfo:
+    """Per-instruction future-path signatures for one trace."""
+
+    path_bits: int
+    #: signature from branch *predictions* (lookup-time view)
+    predicted: List[int]
+    #: signature from resolved outcomes (training-time view)
+    actual: List[int]
+    #: accuracy of the underlying branch predictor
+    branch_stats: BranchStats
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.path_bits) - 1
+
+
+def compute_paths(trace: Trace, statics: StaticTable = None,
+                  path_bits: int = 4,
+                  branch_predictor: GshareBranchPredictor = None
+                  ) -> PathInfo:
+    """Precompute predicted/actual future-path signatures for *trace*."""
+    if statics is None:
+        statics = StaticTable(trace.program)
+    if branch_predictor is None:
+        branch_predictor = GshareBranchPredictor()
+
+    pcs = trace.pcs
+    taken = trace.taken
+    is_cond = statics.is_cond_branch
+    n = len(pcs)
+
+    branch_positions: List[int] = []
+    predicted_bits: List[bool] = []
+    actual_bits: List[bool] = []
+    for i in range(n):
+        if is_cond[pcs[i] >> 2]:
+            outcome = taken[i]
+            prediction = branch_predictor.predict_and_update(pcs[i],
+                                                             outcome)
+            branch_positions.append(i)
+            predicted_bits.append(prediction)
+            actual_bits.append(outcome)
+
+    # Suffix-pack: signature[k] covers branches k .. k+N-1, nearest
+    # branch in bit 0.
+    n_branches = len(branch_positions)
+    mask = (1 << path_bits) - 1
+    predicted_sigs = [0] * (n_branches + 1)
+    actual_sigs = [0] * (n_branches + 1)
+    for k in range(n_branches - 1, -1, -1):
+        predicted_sigs[k] = ((predicted_sigs[k + 1] << 1)
+                             | int(predicted_bits[k])) & mask
+        actual_sigs[k] = ((actual_sigs[k + 1] << 1)
+                          | int(actual_bits[k])) & mask
+
+    predicted = [0] * n
+    actual = [0] * n
+    j = 0
+    for i in range(n):
+        while j < n_branches and branch_positions[j] <= i:
+            j += 1
+        predicted[i] = predicted_sigs[j]
+        actual[i] = actual_sigs[j]
+
+    return PathInfo(path_bits=path_bits, predicted=predicted,
+                    actual=actual, branch_stats=branch_predictor.stats)

@@ -1,0 +1,313 @@
+"""The dead-instruction predictor designs.
+
+All table predictors are direct-mapped and tagged; sizes are powers of
+two and the hardware budget is ``entries * entry_bits``.  See
+DESIGN.md §5.4 for the update policy rationale: dead-instruction
+mispredictions (predicting dead when live) force a pipeline recovery,
+so confidence clears instantly on a live outcome along the learned
+path, while coverage builds with a small saturating counter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.predictors.dead.base import DeadPredictor
+
+
+def _check_power_of_two(entries: int) -> None:
+    if entries <= 0 or entries & (entries - 1):
+        raise ValueError("entries must be a positive power of two")
+
+
+class PathDeadPredictor(DeadPredictor):
+    """The paper's predictor: indexed by PC *and* future control flow.
+
+    The PC and the next-N-branch path jointly select a tagged entry, so
+    every (static instruction, future path) pair gets its own
+    confidence counter: paths along which the instruction dies build
+    confidence independently of paths along which it lives — this is
+    how the predictor separates the useful and useless instances of a
+    partially dead static instruction.  Lookup consumes the *predicted*
+    path (available at rename via the branch predictor); training
+    consumes the resolved path (available at commit).
+
+    Training policy, biased by the asymmetric cost of mistakes (a
+    false "dead" forces a pipeline recovery, a false "live" only
+    forfeits a small saving):
+
+    * dead  -> saturating confidence increment (allocate on tag miss);
+    * live  -> confidence := 0 on tag hit, no allocation on miss.
+    """
+
+    name = "path"
+
+    def __init__(self, entries: int = 2048, tag_bits: int = 8,
+                 path_bits: int = 3, conf_bits: int = 2,
+                 threshold: int = 2):
+        _check_power_of_two(entries)
+        if threshold > (1 << conf_bits) - 1:
+            raise ValueError("threshold exceeds confidence range")
+        if (1 << path_bits) > entries:
+            raise ValueError("path_bits too large for the table")
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.path_bits = path_bits
+        self.conf_bits = conf_bits
+        self.threshold = threshold
+        self._index_bits = entries.bit_length() - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._path_mask = (1 << path_bits) - 1
+        self._path_shift = self._index_bits - path_bits
+        self._conf_max = (1 << conf_bits) - 1
+        self.tags: List[int] = [-1] * entries  # -1 == invalid
+        self.confs: List[int] = [0] * entries
+
+    def _slot(self, pc: int, path: int) -> "tuple[int, int]":
+        word = pc >> 2
+        # Fold the path into the high index bits so consecutive static
+        # instructions do not collide with each other's paths.
+        index = (word ^ ((path & self._path_mask) << self._path_shift)) \
+            & (self.entries - 1)
+        tag = (word >> self._index_bits) & self._tag_mask
+        return index, tag
+
+    def predict(self, pc: int, predicted_path: int, index: int) -> bool:
+        slot, tag = self._slot(pc, predicted_path)
+        return self.tags[slot] == tag and \
+            self.confs[slot] >= self.threshold
+
+    def train(self, pc: int, dead: bool, actual_path: int,
+              index: int) -> None:
+        slot, tag = self._slot(pc, actual_path)
+        if self.tags[slot] != tag:
+            if dead:
+                self.tags[slot] = tag
+                self.confs[slot] = 1
+            return
+        if dead:
+            if self.confs[slot] < self._conf_max:
+                self.confs[slot] += 1
+        else:
+            self.confs[slot] = 0
+
+    def storage_bits(self) -> int:
+        # tag + confidence + valid bit, per entry.
+        return self.entries * (self.tag_bits + self.conf_bits + 1)
+
+
+class SignatureDeadPredictor(DeadPredictor):
+    """Design alternative: one learned dead-path signature per PC.
+
+    Entry = {tag, path signature, confidence}; predicts dead iff the
+    predicted future path equals the single learned signature.  Cheaper
+    per static instruction than :class:`PathDeadPredictor` but can
+    track only one dead path at a time, and uncorrelated far branches
+    keep invalidating the signature — the F6 experiment quantifies how
+    much that costs.
+    """
+
+    name = "signature"
+
+    def __init__(self, entries: int = 2048, tag_bits: int = 8,
+                 path_bits: int = 3, conf_bits: int = 2,
+                 threshold: int = 2):
+        _check_power_of_two(entries)
+        if threshold > (1 << conf_bits) - 1:
+            raise ValueError("threshold exceeds confidence range")
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.path_bits = path_bits
+        self.conf_bits = conf_bits
+        self.threshold = threshold
+        self._index_bits = entries.bit_length() - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._path_mask = (1 << path_bits) - 1
+        self._conf_max = (1 << conf_bits) - 1
+        self.tags: List[int] = [-1] * entries
+        self.sigs: List[int] = [0] * entries
+        self.confs: List[int] = [0] * entries
+
+    def _slot(self, pc: int) -> "tuple[int, int]":
+        word = pc >> 2
+        return word & (self.entries - 1), \
+            (word >> self._index_bits) & self._tag_mask
+
+    def predict(self, pc: int, predicted_path: int, index: int) -> bool:
+        slot, tag = self._slot(pc)
+        return (self.tags[slot] == tag
+                and self.confs[slot] >= self.threshold
+                and self.sigs[slot] == (predicted_path & self._path_mask))
+
+    def train(self, pc: int, dead: bool, actual_path: int,
+              index: int) -> None:
+        slot, tag = self._slot(pc)
+        path = actual_path & self._path_mask
+        if self.tags[slot] != tag:
+            if dead:
+                self.tags[slot] = tag
+                self.sigs[slot] = path
+                self.confs[slot] = 1
+            return
+        if dead:
+            if self.sigs[slot] == path:
+                if self.confs[slot] < self._conf_max:
+                    self.confs[slot] += 1
+            else:
+                self.sigs[slot] = path
+                self.confs[slot] = 1
+        elif self.sigs[slot] == path:
+            self.confs[slot] = 0
+
+    def storage_bits(self) -> int:
+        return self.entries * (self.tag_bits + self.path_bits
+                               + self.conf_bits + 1)
+
+
+class BimodalDeadPredictor(DeadPredictor):
+    """PC-only baseline: a tagged confidence counter per static.
+
+    Increments on dead outcomes, clears on live outcomes.  It can only
+    learn "this static is (almost) always dead", so partially dead
+    statics — the majority of dead instances — oscillate below the
+    threshold and are never covered.
+    """
+
+    name = "bimodal"
+
+    def __init__(self, entries: int = 2048, tag_bits: int = 8,
+                 conf_bits: int = 2, threshold: int = 2):
+        _check_power_of_two(entries)
+        if threshold > (1 << conf_bits) - 1:
+            raise ValueError("threshold exceeds confidence range")
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.conf_bits = conf_bits
+        self.threshold = threshold
+        self._index_bits = entries.bit_length() - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._conf_max = (1 << conf_bits) - 1
+        self.tags: List[int] = [-1] * entries
+        self.confs: List[int] = [0] * entries
+
+    def _slot(self, pc: int) -> "tuple[int, int]":
+        word = pc >> 2
+        return word & (self.entries - 1), \
+            (word >> self._index_bits) & self._tag_mask
+
+    def predict(self, pc: int, predicted_path: int, index: int) -> bool:
+        slot, tag = self._slot(pc)
+        return self.tags[slot] == tag and \
+            self.confs[slot] >= self.threshold
+
+    def train(self, pc: int, dead: bool, actual_path: int,
+              index: int) -> None:
+        slot, tag = self._slot(pc)
+        if self.tags[slot] != tag:
+            if dead:
+                self.tags[slot] = tag
+                self.confs[slot] = 1
+            return
+        if dead:
+            if self.confs[slot] < self._conf_max:
+                self.confs[slot] += 1
+        else:
+            self.confs[slot] = 0
+
+    def storage_bits(self) -> int:
+        return self.entries * (self.tag_bits + self.conf_bits + 1)
+
+
+class HistoryDeadPredictor(DeadPredictor):
+    """Control-flow-history baseline: indexes by PC and *past* branch
+    outcomes (the global history register), the information a
+    conventional correlating predictor would use.
+
+    The paper's insight is that deadness is decided by the *future*
+    path — whether the upcoming branch skips the consumer — which past
+    history only predicts indirectly (insofar as the past correlates
+    with the future).  This design isolates that claim: identical
+    structure to :class:`PathDeadPredictor`, but fed the last N branch
+    outcomes instead of the next N predictions.  The harness updates
+    the history via :meth:`note_branch` along the committed path.
+    """
+
+    name = "history"
+
+    def __init__(self, entries: int = 2048, tag_bits: int = 8,
+                 history_bits: int = 3, conf_bits: int = 2,
+                 threshold: int = 2):
+        _check_power_of_two(entries)
+        if threshold > (1 << conf_bits) - 1:
+            raise ValueError("threshold exceeds confidence range")
+        if (1 << history_bits) > entries:
+            raise ValueError("history_bits too large for the table")
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.history_bits = history_bits
+        self.conf_bits = conf_bits
+        self.threshold = threshold
+        self._index_bits = entries.bit_length() - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._history_shift = self._index_bits - history_bits
+        self._conf_max = (1 << conf_bits) - 1
+        self.history = 0
+        self.tags: List[int] = [-1] * entries
+        self.confs: List[int] = [0] * entries
+
+    def note_branch(self, taken: bool) -> None:
+        """Shift a resolved branch outcome into the global history."""
+        self.history = ((self.history << 1) | int(taken)) \
+            & self._history_mask
+
+    def _slot(self, pc: int) -> "tuple[int, int]":
+        word = pc >> 2
+        index = (word ^ (self.history << self._history_shift)) \
+            & (self.entries - 1)
+        tag = (word >> self._index_bits) & self._tag_mask
+        return index, tag
+
+    def predict(self, pc: int, predicted_path: int, index: int) -> bool:
+        slot, tag = self._slot(pc)
+        return self.tags[slot] == tag and \
+            self.confs[slot] >= self.threshold
+
+    def train(self, pc: int, dead: bool, actual_path: int,
+              index: int) -> None:
+        # Prediction and training share the same history context here
+        # (both happen at the instruction's position in the walk).
+        slot, tag = self._slot(pc)
+        if self.tags[slot] != tag:
+            if dead:
+                self.tags[slot] = tag
+                self.confs[slot] = 1
+            return
+        if dead:
+            if self.confs[slot] < self._conf_max:
+                self.confs[slot] += 1
+        else:
+            self.confs[slot] = 0
+
+    def storage_bits(self) -> int:
+        return self.entries * (self.tag_bits + self.conf_bits + 1) \
+            + self.history_bits
+
+
+class OracleDeadPredictor(DeadPredictor):
+    """Perfect dead-instruction knowledge (upper bound, zero state)."""
+
+    name = "oracle"
+
+    def __init__(self, dead_labels: Sequence[bool]):
+        self.dead_labels = dead_labels
+
+    def predict(self, pc: int, predicted_path: int, index: int) -> bool:
+        return bool(self.dead_labels[index])
+
+    def train(self, pc: int, dead: bool, actual_path: int,
+              index: int) -> None:
+        pass
+
+    def storage_bits(self) -> int:
+        return 0

@@ -1,0 +1,18 @@
+"""Command-line toolchain.
+
+Four developer-facing tools wrap the library:
+
+* ``repro-cc``   — compile Mini-C to assembly or a program image;
+* ``repro-asm``  — assemble, list, and link nothing (single image);
+* ``repro-run``  — execute any source/assembly/image, optionally with
+  deadness analysis and the timing simulator;
+* ``repro-dead`` — the dead-instruction report for one program.
+
+All tools accept ``.mc`` (Mini-C), ``.s``/``.asm`` (assembly), or
+``.rpo`` (program image) inputs where it makes sense, dispatching on
+the file extension.
+"""
+
+from repro.tools.common import load_any
+
+__all__ = ["load_any"]

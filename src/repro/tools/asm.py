@@ -1,0 +1,50 @@
+"""``repro-asm``: assemble and inspect programs.
+
+Examples::
+
+    repro-asm program.s -o program.rpo   # assemble to an image
+    repro-asm program.s --list           # listing with addresses
+    repro-asm program.rpo --list         # disassemble an image
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.isa import disassemble_program
+from repro.isa.binary import write_program
+from repro.tools.common import load_any
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-asm", description="Assemble or inspect programs.")
+    parser.add_argument("input", help="assembly (.s/.asm) or image (.rpo)")
+    parser.add_argument("-o", "--output", help="image output path (.rpo)")
+    parser.add_argument("--list", action="store_true", dest="listing",
+                        help="print a disassembly listing")
+    parser.add_argument("--symbols", action="store_true",
+                        help="print the symbol table")
+    args = parser.parse_args(argv)
+
+    program = load_any(args.input)
+    print("%s: %d instructions, %d data words, entry %#x" %
+          (program.name or args.input, len(program.instructions),
+           len(program.data), program.entry), file=sys.stderr)
+
+    if args.listing:
+        print(disassemble_program(program.instructions))
+    if args.symbols:
+        for name, address in sorted(program.symbols.items(),
+                                    key=lambda item: item[1]):
+            print("%#08x  %s" % (address, name))
+    if args.output:
+        write_program(program, args.output)
+        print("wrote %s" % args.output, file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""``repro-cc``: the Mini-C compiler driver.
+
+Examples::
+
+    repro-cc program.mc                  # assembly on stdout
+    repro-cc program.mc -o program.s     # assembly to a file
+    repro-cc program.mc -o program.rpo   # compiled + assembled image
+    repro-cc program.mc -O0 --run        # compile and execute
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.isa import assemble
+from repro.isa.binary import write_program
+from repro.lang import compile_source
+from repro.tools.common import add_compiler_flags, compiler_options_from
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-cc", description="Compile Mini-C.")
+    parser.add_argument("input", help="Mini-C source file (.mc)")
+    parser.add_argument("-o", "--output",
+                        help="output path (.s for assembly, .rpo for a "
+                             "program image); default: stdout")
+    parser.add_argument("--run", action="store_true",
+                        help="execute the compiled program and print "
+                             "its output")
+    add_compiler_flags(parser)
+    args = parser.parse_args(argv)
+
+    source = Path(args.input).read_text()
+    options = compiler_options_from(args)
+    assembly = compile_source(source, options)
+
+    if args.run:
+        from repro.emulator import run_program
+
+        program = assemble(assembly, name=Path(args.input).stem)
+        machine, trace = run_program(program)
+        for value in machine.output:
+            print(value)
+        print("[%d instructions executed]" % len(trace),
+              file=sys.stderr)
+        return 0
+
+    if args.output is None:
+        print(assembly)
+        return 0
+    output = Path(args.output)
+    if output.suffix == ".rpo":
+        program = assemble(assembly, name=Path(args.input).stem)
+        write_program(program, str(output))
+        print("wrote %s (%d instructions)" % (output,
+                                              len(program.instructions)),
+              file=sys.stderr)
+    else:
+        output.write_text(assembly)
+        print("wrote %s" % output, file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

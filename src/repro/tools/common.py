@@ -1,0 +1,44 @@
+"""Shared plumbing for the CLI tools."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.isa import assemble
+from repro.isa.binary import read_program
+from repro.isa.program import Program
+from repro.lang import CompilerOptions, compile_to_program
+
+
+def load_any(path: str, options: CompilerOptions = None) -> Program:
+    """Load a program from any supported file type by extension."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".mc":
+        source = Path(path).read_text()
+        return compile_to_program(source, options, name=Path(path).stem)
+    if suffix in (".s", ".asm"):
+        return assemble(Path(path).read_text(), name=Path(path).stem)
+    if suffix == ".rpo":
+        return read_program(path)
+    raise SystemExit(
+        "unsupported input %r (expected .mc, .s/.asm, or .rpo)" % path)
+
+
+def compiler_options_from(args) -> CompilerOptions:
+    """Build CompilerOptions from common argparse flags."""
+    return CompilerOptions(
+        opt_level=args.opt_level,
+        max_hoist=args.max_hoist,
+        scalar_opt=args.scalar_opt,
+    )
+
+
+def add_compiler_flags(parser) -> None:
+    parser.add_argument("-O", dest="opt_level", type=int, default=2,
+                        choices=(0, 2),
+                        help="optimization level (0: no scheduling, "
+                             "2: speculative hoisting; default 2)")
+    parser.add_argument("--max-hoist", type=int, default=4,
+                        help="instructions hoisted per branch arm")
+    parser.add_argument("--scalar-opt", action="store_true",
+                        help="run copy propagation and static DCE")

@@ -1,0 +1,104 @@
+"""``repro-dead``: the dead-instruction report for one program.
+
+Examples::
+
+    repro-dead program.mc               # summary + provenance
+    repro-dead program.mc --top 10      # worst static offenders
+    repro-dead program.s --classes --locality
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    analyze_deadness,
+    classify_statics,
+    locality_stats,
+)
+from repro.emulator import run_program
+from repro.isa import disassemble
+from repro.tools.common import (
+    add_compiler_flags,
+    compiler_options_from,
+    load_any,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-dead",
+        description="Report dynamically dead instructions.")
+    parser.add_argument("input", help=".mc, .s/.asm, or .rpo input")
+    parser.add_argument("--max-steps", type=int, default=10_000_000)
+    parser.add_argument("--classes", action="store_true",
+                        help="print static-class counts")
+    parser.add_argument("--locality", action="store_true",
+                        help="print locality statistics")
+    parser.add_argument("--top", type=int, default=0, metavar="N",
+                        help="print the N statics with the most dead "
+                             "instances")
+    parser.add_argument("--annotate", type=int, default=0, metavar="N",
+                        help="print the first N dynamic instructions "
+                             "with DEAD/live annotations")
+    add_compiler_flags(parser)
+    args = parser.parse_args(argv)
+
+    program = load_any(args.input, compiler_options_from(args))
+    machine, trace = run_program(program, max_steps=args.max_steps)
+    analysis = analyze_deadness(trace)
+    classification = classify_statics(analysis)
+
+    print(analysis.summary())
+    print("provenance of dead instances:")
+    for tag, count in sorted(classification.provenance.by_tag.items()):
+        print("  %-12s %8d  (%.1f%%)" %
+              (tag, count, 100 * classification.provenance.fraction(tag)))
+
+    if args.classes:
+        print("static classes: %d fully dead, %d partially dead, "
+              "%d never dead" % (classification.n_static_fully_dead,
+                                 classification.n_static_partially_dead,
+                                 classification.n_static_never_dead))
+        print("dead instances from partially dead statics: %.1f%%"
+              % (100 * classification.partial_share))
+
+    if args.locality:
+        locality = locality_stats(classification)
+        print("locality: 50%%/80%%/90%% of dead instances from "
+              "%d/%d/%d statics" % (
+                  locality.statics_for_coverage[0.5],
+                  locality.statics_for_coverage[0.8],
+                  locality.statics_for_coverage[0.9]))
+
+    if args.top:
+        print("top dead-producing static instructions:")
+        for static_index, dead_count in \
+                classification.dead_counts_sorted()[:args.top]:
+            instruction = program.instructions[static_index]
+            total, _ = classification.counts[static_index]
+            tag = (" @%s" % instruction.provenance
+                   if instruction.provenance else "")
+            print("  %#06x  %-28s %6d/%-6d dead%s" %
+                  (instruction.pc, disassemble(instruction),
+                   dead_count, total, tag))
+
+    if args.annotate:
+        print("annotated dynamic trace (first %d instructions):"
+              % args.annotate)
+        for i in range(min(args.annotate, len(trace))):
+            instruction = trace.instruction(i)
+            if analysis.dead[i]:
+                mark = ("DEAD!" if analysis.direct[i]
+                        else "DEAD(transitive)")
+            else:
+                mark = ""
+            print("  #%-6d %#06x  %-28s %s" %
+                  (i, instruction.pc, disassemble(instruction), mark))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""``repro-run``: execute programs, optionally through the whole stack.
+
+Examples::
+
+    repro-run program.mc                     # compile + run, print output
+    repro-run program.s --dead               # add the deadness summary
+    repro-run program.mc --sim contended --eliminate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.emulator import run_program
+from repro.tools.common import (
+    add_compiler_flags,
+    compiler_options_from,
+    load_any,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description="Execute a program on the architectural emulator, "
+                    "optionally analyzing deadness and simulating "
+                    "timing.")
+    parser.add_argument("input", help=".mc, .s/.asm, or .rpo input")
+    parser.add_argument("--max-steps", type=int, default=10_000_000)
+    parser.add_argument("--dead", action="store_true",
+                        help="run the dead-instruction analysis")
+    parser.add_argument("--sim", choices=("default", "contended"),
+                        help="also run the timing simulator on this "
+                             "machine configuration")
+    parser.add_argument("--eliminate", action="store_true",
+                        help="enable dead-instruction elimination in "
+                             "the simulated machine")
+    add_compiler_flags(parser)
+    args = parser.parse_args(argv)
+
+    program = load_any(args.input, compiler_options_from(args))
+    machine, trace = run_program(program, max_steps=args.max_steps)
+    for value in machine.output:
+        print(value)
+    print("[%d instructions executed]" % len(trace), file=sys.stderr)
+
+    analysis = None
+    if args.dead or args.sim:
+        from repro.analysis import analyze_deadness
+
+        analysis = analyze_deadness(trace)
+    if args.dead:
+        print("[%s]" % analysis.summary(), file=sys.stderr)
+
+    if args.sim:
+        from repro.pipeline import (
+            contended_config,
+            default_config,
+            simulate,
+        )
+
+        factory = (contended_config if args.sim == "contended"
+                   else default_config)
+        result = simulate(trace, factory(eliminate=args.eliminate),
+                          analysis)
+        print("[%s machine%s: %s]" % (
+            args.sim,
+            " + elimination" if args.eliminate else "",
+            result.stats.summary()), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The benchmark suite: nine Mini-C kernels.
+
+The paper characterizes SPEC CPU; offline we substitute nine kernels
+spanning the same behavioural space (see DESIGN.md §2): loop-dominated
+arithmetic, branchy integer logic, pointer chasing, hashing, string
+processing, and call-heavy evaluation.  Each workload is generated
+deterministically from a seed, compiled with the repro compiler, and
+ships a pure-Python reference implementation so the emulator's output
+is verified end to end.
+
+Public API: :func:`get_workload`, :func:`workload_names`,
+:func:`all_workloads`, and :class:`Workload`.
+"""
+
+from repro.workloads.suite import (
+    Workload,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+
+__all__ = ["Workload", "all_workloads", "get_workload", "workload_names"]

@@ -1,0 +1,42 @@
+"""``python -m repro.workloads``: list the suite, optionally with
+per-workload characterization (``--stats`` runs every kernel).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.workloads import all_workloads
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="The benchmark suite.")
+    parser.add_argument("--stats", action="store_true",
+                        help="run each workload and print dynamic "
+                             "counts and dead fractions")
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args(argv)
+
+    if not args.stats:
+        for workload in all_workloads():
+            print("%-10s %s" % (workload.name, workload.description))
+        return 0
+
+    from repro.analysis import analyze_deadness
+
+    print("%-10s %9s %8s %8s  %s" % ("name", "dynamic", "static",
+                                     "dead%", "description"))
+    for workload in all_workloads():
+        _, trace = workload.run(scale=args.scale)
+        analysis = analyze_deadness(trace)
+        print("%-10s %9d %8d %7.2f%%  %s" % (
+            workload.name, len(trace), len(trace.program.instructions),
+            100 * analysis.dead_fraction, workload.description))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Deterministic input generation for the workloads.
+
+All workload inputs come from :class:`Xorshift32`, a tiny seeded PRNG,
+so every experiment is exactly reproducible without any dependence on
+Python's hash randomization or :mod:`random` module state.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Xorshift32:
+    """Marsaglia xorshift32: fast, seeded, and good enough for inputs."""
+
+    def __init__(self, seed: int):
+        if seed == 0:
+            seed = 0x9E3779B9
+        self.state = seed & 0xFFFFFFFF
+
+    def next(self) -> int:
+        x = self.state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self.state = x
+        return x
+
+    def below(self, bound: int) -> int:
+        """Uniform-ish integer in [0, bound)."""
+        return self.next() % bound
+
+    def ints(self, count: int, bound: int) -> List[int]:
+        """A list of *count* integers in [0, bound)."""
+        return [self.below(bound) for _ in range(count)]
+
+    def permutation(self, count: int) -> List[int]:
+        """A Fisher-Yates permutation of range(count)."""
+        values = list(range(count))
+        for i in range(count - 1, 0, -1):
+            j = self.below(i + 1)
+            values[i], values[j] = values[j], values[i]
+        return values
+
+
+def array_literal(name: str, values: List[int]) -> str:
+    """Render a Mini-C global array with an initializer list."""
+    body = ", ".join(str(value) for value in values)
+    return "int %s[%d] = {%s};" % (name, len(values), body)

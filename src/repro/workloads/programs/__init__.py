@@ -1,0 +1,8 @@
+"""Workload kernel definitions.
+
+Each module exposes ``NAME``, ``DESCRIPTION``, ``source(scale)``
+returning Mini-C text, and ``reference(scale)`` returning the expected
+program output as a list of integers.  Values are kept well inside
+32-bit signed range so the pure-Python references match the machine
+exactly without modular arithmetic gymnastics.
+"""

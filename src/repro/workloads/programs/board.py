@@ -1,0 +1,211 @@
+"""Board evaluation: call-heavy, branchy scoring (chess-engine flavour).
+
+The evaluator iterates *piece lists* (square + piece arrays per
+position), the way real engines do, so the hot branches are the kind
+and colour tests — biased by the chess-like piece distribution — rather
+than a random empty-square test.  Small helper functions called per
+piece exercise the calling convention; callee-save spill/restore code
+is the paper's second recognized source of dead register writes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.generate import Xorshift32, array_literal
+
+NAME = "board"
+DESCRIPTION = "branchy board-position evaluation over piece lists"
+SEED = 0xB0A2D
+
+#: iterative-deepening style re-evaluation of the same positions, which
+#: is what gives a real engine's evaluation branches their locality
+_NPASSES = 6
+
+_MAX_PIECES = 24
+
+_BODY = """
+int absval(int x) {
+  if (x < 0) {
+    return 0 - x;
+  }
+  return x;
+}
+
+int clamp(int x, int lo, int hi) {
+  if (x < lo) {
+    return lo;
+  }
+  if (x > hi) {
+    return hi;
+  }
+  return x;
+}
+
+int center_bonus(int row, int col) {
+  int dr = absval(row * 2 - 7);
+  int dc = absval(col * 2 - 7);
+  int d = dr + dc;
+  if (d < 6) {
+    return 8 - d;
+  }
+  return 0;
+}
+
+int piece_score(int piece, int row, int col) {
+  int kind = absval(piece);
+  int sign = 1;
+  if (piece < 0) {
+    sign = 0 - 1;
+  }
+  int base = 0;
+  if (kind == 1) {
+    base = 10 + row;
+  } else {
+    if (kind == 2 || kind == 3) {
+      base = 30 + center_bonus(row, col);
+    } else {
+      if (kind == 4) {
+        base = 50;
+      } else {
+        if (kind == 5) {
+          base = 90 + center_bonus(row, col) * 2;
+        } else {
+          if (kind == 6) {
+            base = 900;
+          }
+        }
+      }
+    }
+  }
+  return sign * base;
+}
+
+int evaluate(int ply) {
+  int score = 0;
+  int base = ply * maxpieces;
+  int count = counts[ply];
+  int p;
+  for (p = 0; p < count; p = p + 1) {
+    int sq = squares[base + p];
+    int piece = pieces[base + p];
+    int row = sq / 8;
+    int col = sq % 8;
+    score = score + piece_score(piece, row, col);
+  }
+  return clamp(score, 0 - 2000, 2000);
+}
+
+void main() {
+  int best = 0 - 100000;
+  int besti = 0 - 1;
+  int total = 0;
+  int pass;
+  for (pass = 0; pass < npasses; pass = pass + 1) {
+    int ply;
+    for (ply = 0; ply < nplies; ply = ply + 1) {
+      int s = evaluate(ply) + pass;
+      total = total + s;
+      if (s > best) {
+        best = s;
+        besti = ply + pass * 100;
+      }
+    }
+  }
+  print(best);
+  print(besti);
+  print(total);
+}
+"""
+
+
+def _nplies(scale: float) -> int:
+    return max(2, int(10 * scale))
+
+
+def _positions(scale: float) -> Tuple[List[int], List[int], List[int]]:
+    """Generate (counts, squares, pieces) flattened piece lists."""
+    rng = Xorshift32(SEED)
+    nplies = _nplies(scale)
+    counts: List[int] = []
+    squares: List[int] = [0] * (nplies * _MAX_PIECES)
+    pieces: List[int] = [0] * (nplies * _MAX_PIECES)
+    for ply in range(nplies):
+        count = 12 + rng.below(_MAX_PIECES - 12)
+        counts.append(count)
+        # Endgame-like positions: pieces crowd the centre files.
+        central = [sq for sq in range(64) if 1 <= (sq % 8) <= 6]
+        order = rng.permutation(len(central))
+        occupied = sorted(central[order[i]] for i in range(count))
+        for index, square in enumerate(occupied):
+            # Pawn-heavy endgame distribution: the evaluation's kind
+            # tests are strongly biased, as they are in real engines
+            # (pawns dominate every piece list).
+            kind_roll = rng.below(20)
+            if kind_roll < 16:
+                kind = 1
+            elif kind_roll < 18:
+                kind = 2 + rng.below(2)  # knight/bishop
+            elif kind_roll < 19:
+                kind = 4
+            else:
+                kind = 5 + rng.below(2)
+            # The side to move has more material in these positions.
+            sign = -1 if rng.below(10) < 1 else 1
+            squares[ply * _MAX_PIECES + index] = square
+            pieces[ply * _MAX_PIECES + index] = sign * kind
+    return counts, squares, pieces
+
+
+def source(scale: float = 1.0) -> str:
+    counts, squares, pieces = _positions(scale)
+    header = "\n".join([
+        array_literal("counts", counts),
+        array_literal("squares", squares),
+        array_literal("pieces", pieces),
+        "int nplies = %d;" % _nplies(scale),
+        "int npasses = %d;" % _NPASSES,
+        "int maxpieces = %d;" % _MAX_PIECES,
+    ])
+    return header + _BODY
+
+
+def _piece_score(piece: int, row: int, col: int) -> int:
+    kind = abs(piece)
+    sign = -1 if piece < 0 else 1
+
+    def center_bonus() -> int:
+        d = abs(row * 2 - 7) + abs(col * 2 - 7)
+        return 8 - d if d < 6 else 0
+
+    if kind == 1:
+        base = 10 + row
+    elif kind in (2, 3):
+        base = 30 + center_bonus()
+    elif kind == 4:
+        base = 50
+    elif kind == 5:
+        base = 90 + center_bonus() * 2
+    elif kind == 6:
+        base = 900
+    else:
+        base = 0
+    return sign * base
+
+
+def reference(scale: float = 1.0) -> List[int]:
+    counts, squares, pieces = _positions(scale)
+    best, besti, total = -100000, -1, 0
+    for pass_number in range(_NPASSES):
+        for ply in range(_nplies(scale)):
+            score = 0
+            for p in range(counts[ply]):
+                square = squares[ply * _MAX_PIECES + p]
+                piece = pieces[ply * _MAX_PIECES + p]
+                score += _piece_score(piece, square // 8, square % 8)
+            score = max(-2000, min(2000, score)) + pass_number
+            total += score
+            if score > best:
+                best = score
+                besti = ply + pass_number * 100
+    return [best, besti, total]

@@ -1,0 +1,100 @@
+"""Saturating signal filter: if/else chains over a noisy signal."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.generate import Xorshift32, array_literal
+
+NAME = "filter"
+DESCRIPTION = "saturating smoothing filter with outlier rejection"
+SEED = 0xF117E2
+
+_BODY = """
+void main() {
+  int prev = signal[0];
+  int acc = 0;
+  int clipped = 0;
+  int outliers = 0;
+  int i;
+  for (i = 1; i < n; i = i + 1) {
+    int x = signal[i];
+    int diff = x - prev;
+    int smoothed;
+    if (diff > limit) {
+      smoothed = prev + limit;
+      clipped = clipped + 1;
+    } else {
+      if (diff < 0 - limit) {
+        smoothed = prev - limit;
+        clipped = clipped + 1;
+      } else {
+        smoothed = prev + diff / 2;
+      }
+    }
+    if (x > 3 * threshold || x < 0 - threshold) {
+      outliers = outliers + 1;
+    } else {
+      acc = acc + smoothed;
+    }
+    prev = smoothed;
+  }
+  print(acc);
+  print(clipped);
+  print(outliers);
+  print(prev);
+}
+"""
+
+
+def _signal(scale: float) -> List[int]:
+    rng = Xorshift32(SEED)
+    count = max(32, int(900 * scale))
+    values: List[int] = []
+    level = 100
+    for _ in range(count):
+        step = rng.below(41) - 20
+        level += step
+        if rng.below(33) == 0:
+            values.append(level + 500)  # outlier spike
+        else:
+            values.append(level)
+    return values
+
+
+def source(scale: float = 1.0) -> str:
+    values = _signal(scale)
+    header = "\n".join([
+        array_literal("signal", values),
+        "int n = %d;" % len(values),
+        "int limit = 24;",
+        "int threshold = 150;",
+    ])
+    return header + _BODY
+
+
+def reference(scale: float = 1.0) -> List[int]:
+    values = _signal(scale)
+    limit, threshold = 24, 150
+    prev = values[0]
+    acc = clipped = outliers = 0
+    for x in values[1:]:
+        diff = x - prev
+        if diff > limit:
+            smoothed = prev + limit
+            clipped += 1
+        elif diff < -limit:
+            smoothed = prev - limit
+            clipped += 1
+        else:
+            # Mini-C '/' truncates toward zero, like int() on a float.
+            half = abs(diff) // 2
+            if diff < 0:
+                half = -half
+            smoothed = prev + half
+        if x > 3 * threshold or x < -threshold:
+            outliers += 1
+        else:
+            acc += smoothed
+        prev = smoothed
+    return [acc, clipped, outliers, prev]

@@ -1,0 +1,105 @@
+"""Open-addressing hash table: insert then probe, hash-and-compare code."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.generate import Xorshift32, array_literal
+
+NAME = "hash"
+DESCRIPTION = "open-addressing hash table build and probe"
+SEED = 0x5EED01
+TABLE_SIZE = 1024  # power of two
+
+_BODY = """
+int hash1(int key) {
+  int h = key * 21001 % 1048576;
+  return (h ^ (h >> 7)) & mask;
+}
+
+int insert(int key) {
+  int slot = hash1(key);
+  int probes = 0;
+  while (table[slot] != 0 && table[slot] != key) {
+    slot = (slot + 1) & mask;
+    probes = probes + 1;
+  }
+  table[slot] = key;
+  return probes;
+}
+
+int lookup(int key) {
+  int slot = hash1(key);
+  while (table[slot] != 0) {
+    if (table[slot] == key) {
+      return 1;
+    }
+    slot = (slot + 1) & mask;
+  }
+  return 0;
+}
+
+void main() {
+  int i;
+  int probes = 0;
+  for (i = 0; i < nkeys; i = i + 1) {
+    probes = probes + insert(keys[i]);
+  }
+  int found = 0;
+  for (i = 0; i < nkeys; i = i + 1) {
+    found = found + lookup(keys[i]);
+    found = found + lookup(keys[i] + 1);
+  }
+  print(probes);
+  print(found);
+}
+"""
+
+
+def _counts(scale: float) -> int:
+    return max(16, int(220 * scale))
+
+
+def _keys(scale: float) -> List[int]:
+    # Nonzero keys; zero marks an empty table slot.
+    rng = Xorshift32(SEED)
+    return [1 + rng.below(100_000) for _ in range(_counts(scale))]
+
+
+def source(scale: float = 1.0) -> str:
+    keys = _keys(scale)
+    header = "\n".join([
+        array_literal("keys", keys),
+        "int table[%d];" % TABLE_SIZE,
+        "int nkeys = %d;" % len(keys),
+        "int mask = %d;" % (TABLE_SIZE - 1),
+    ])
+    return header + _BODY
+
+
+def _hash(key: int) -> int:
+    h = key * 21001 % 1048576
+    return (h ^ (h >> 7)) & (TABLE_SIZE - 1)
+
+
+def reference(scale: float = 1.0) -> List[int]:
+    keys = _keys(scale)
+    table = [0] * TABLE_SIZE
+    probes = 0
+    for key in keys:
+        slot = _hash(key)
+        while table[slot] != 0 and table[slot] != key:
+            slot = (slot + 1) & (TABLE_SIZE - 1)
+            probes += 1
+        table[slot] = key
+
+    def lookup(key: int) -> int:
+        slot = _hash(key)
+        while table[slot] != 0:
+            if table[slot] == key:
+                return 1
+            slot = (slot + 1) & (TABLE_SIZE - 1)
+        return 0
+
+    found = sum(lookup(key) + lookup(key + 1) for key in keys)
+    return [probes, found]

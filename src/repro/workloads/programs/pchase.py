@@ -1,0 +1,81 @@
+"""Pointer chasing: serialized loads through a random permutation."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.generate import Xorshift32, array_literal
+
+NAME = "pchase"
+DESCRIPTION = "linked-list traversal through a random permutation"
+SEED = 0xBADCAB
+
+_BODY = """
+void main() {
+  int node = 0;
+  int acc = 0;
+  int odd = 0;
+  int i;
+  for (i = 0; i < steps; i = i + 1) {
+    int v = value[node];
+    if (v % 2 == 1) {
+      odd = odd + 1;
+      acc = acc + v * 3;
+    } else {
+      acc = acc + v;
+    }
+    node = next[node];
+  }
+  print(acc);
+  print(odd);
+  print(node);
+}
+"""
+
+
+def _nodes(scale: float) -> int:
+    return max(16, int(256 * scale))
+
+
+def _steps(scale: float) -> int:
+    return max(32, int(4000 * scale))
+
+
+def _build(scale: float):
+    count = _nodes(scale)
+    rng = Xorshift32(SEED)
+    # A single cycle over all nodes: next[p[i]] = p[i+1].
+    order = rng.permutation(count)
+    nxt = [0] * count
+    for i in range(count):
+        nxt[order[i]] = order[(i + 1) % count]
+    # Mostly-even values: the parity branch is ~95% biased, like the
+    # data-dependent branches of real pointer codes.
+    values = [2 * rng.below(500) if rng.below(20) else
+              2 * rng.below(500) + 1 for _ in range(count)]
+    return nxt, values
+
+
+def source(scale: float = 1.0) -> str:
+    nxt, values = _build(scale)
+    header = "\n".join([
+        array_literal("next", nxt),
+        array_literal("value", values),
+        "int steps = %d;" % _steps(scale),
+    ])
+    return header + _BODY
+
+
+def reference(scale: float = 1.0) -> List[int]:
+    nxt, values = _build(scale)
+    node = 0
+    acc = odd = 0
+    for _ in range(_steps(scale)):
+        v = values[node]
+        if v % 2 == 1:
+            odd += 1
+            acc += v * 3
+        else:
+            acc += v
+        node = nxt[node]
+    return [acc, odd, node]

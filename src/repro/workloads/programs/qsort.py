@@ -1,0 +1,92 @@
+"""Recursive quicksort: deep call tree, heavy callee-save traffic."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.generate import Xorshift32, array_literal
+
+NAME = "qsort"
+DESCRIPTION = "recursive quicksort with median-of-three pivoting"
+SEED = 0x9507
+
+_BODY = """
+int median3(int x, int y, int z) {
+  if (x < y) {
+    if (y < z) { return y; }
+    if (x < z) { return z; }
+    return x;
+  }
+  if (x < z) { return x; }
+  if (y < z) { return z; }
+  return y;
+}
+
+void qsort_range(int lo, int hi) {
+  if (hi - lo < 2) {
+    return;
+  }
+  int pivot = median3(a[lo], a[(lo + hi) / 2], a[hi - 1]);
+  int i = lo;
+  int j = hi - 1;
+  while (i <= j) {
+    while (a[i] < pivot) { i = i + 1; }
+    while (a[j] > pivot) { j = j - 1; }
+    if (i <= j) {
+      int tmp = a[i];
+      a[i] = a[j];
+      a[j] = tmp;
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  qsort_range(lo, j + 1);
+  qsort_range(i, hi);
+}
+
+void main() {
+  qsort_range(0, n);
+  int bad = 0;
+  int acc = 0;
+  int i;
+  for (i = 1; i < n; i = i + 1) {
+    if (a[i - 1] > a[i]) {
+      bad = bad + 1;
+    }
+    acc = acc + a[i] * (i % 7);
+  }
+  print(bad);
+  print(a[0]);
+  print(a[n - 1]);
+  print(acc);
+}
+"""
+
+
+def _data(scale: float) -> List[int]:
+    # Nearly sorted input (sorted plus a few displaced elements), the
+    # common real-world case: partition scans become long predictable
+    # bursts instead of coin flips.
+    rng = Xorshift32(SEED)
+    count = max(12, int(170 * scale))
+    values = sorted(rng.ints(count, 50_000))
+    for _ in range(max(1, count // 20)):
+        i = rng.below(count)
+        j = rng.below(count)
+        values[i], values[j] = values[j], values[i]
+    return values
+
+
+def source(scale: float = 1.0) -> str:
+    values = _data(scale)
+    header = "\n".join([
+        array_literal("a", values),
+        "int n = %d;" % len(values),
+    ])
+    return header + _BODY
+
+
+def reference(scale: float = 1.0) -> List[int]:
+    values = sorted(_data(scale))
+    acc = sum(value * (i % 7) for i, value in enumerate(values) if i >= 1)
+    return [0, values[0], values[-1], acc]

@@ -1,0 +1,81 @@
+"""Run-length encoding: data-dependent branches over runs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.generate import Xorshift32, array_literal
+
+NAME = "rle"
+DESCRIPTION = "run-length encode a run-heavy array"
+SEED = 0x21E5
+
+_BODY = """
+void main() {
+  int runs = 0;
+  int checksum = 0;
+  int longest = 0;
+  int i = 0;
+  while (i < n) {
+    int symbol = data[i];
+    int length = 1;
+    while (i + length < n && data[i + length] == symbol) {
+      length = length + 1;
+    }
+    if (length > longest) {
+      longest = length;
+    }
+    if (length >= 4) {
+      checksum = checksum + symbol * 100 + length;
+    } else {
+      checksum = checksum + symbol + length * 7;
+    }
+    runs = runs + 1;
+    i = i + length;
+  }
+  print(runs);
+  print(checksum);
+  print(longest);
+}
+"""
+
+
+def _data(scale: float) -> List[int]:
+    rng = Xorshift32(SEED)
+    values: List[int] = []
+    target = max(64, int(700 * scale))
+    while len(values) < target:
+        symbol = rng.below(9)
+        # Mostly long runs: the length>=4 branch is ~80% biased.
+        run = 2 + rng.below(10)
+        values.extend([symbol] * run)
+    return values[:target]
+
+
+def source(scale: float = 1.0) -> str:
+    values = _data(scale)
+    header = "\n".join([
+        array_literal("data", values),
+        "int n = %d;" % len(values),
+    ])
+    return header + _BODY
+
+
+def reference(scale: float = 1.0) -> List[int]:
+    values = _data(scale)
+    runs = checksum = longest = 0
+    i = 0
+    n = len(values)
+    while i < n:
+        symbol = values[i]
+        length = 1
+        while i + length < n and values[i + length] == symbol:
+            length += 1
+        longest = max(longest, length)
+        if length >= 4:
+            checksum += symbol * 100 + length
+        else:
+            checksum += symbol + length * 7
+        runs += 1
+        i += length
+    return [runs, checksum, longest]

@@ -1,0 +1,79 @@
+"""Insertion sort: branchy inner loop with data movement."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.generate import Xorshift32, array_literal
+
+NAME = "sort"
+DESCRIPTION = "insertion sort of a random array, verified by checksums"
+SEED = 0xC0FFEE
+
+_BODY = """
+void isort() {
+  int i;
+  for (i = 1; i < n; i = i + 1) {
+    int key = a[i];
+    int j = i;
+    while (j > 0 && a[j - 1] > key) {
+      a[j] = a[j - 1];
+      j = j - 1;
+    }
+    a[j] = key;
+  }
+}
+
+int weighted() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (a[i] < 5000) {
+      acc = acc + a[i];
+    } else {
+      acc = acc + i;
+    }
+  }
+  return acc;
+}
+
+void main() {
+  isort();
+  print(a[0]);
+  print(a[n - 1]);
+  print(weighted());
+}
+"""
+
+
+def _size(scale: float) -> int:
+    return max(8, int(300 * scale))
+
+
+def _data(scale: float) -> List[int]:
+    # Mostly ascending with occasional back-steps: insertion sort's
+    # inner loop exits quickly and predictably, as it does on the
+    # nearly-ordered inputs sorting routines usually see.
+    rng = Xorshift32(SEED)
+    values = sorted(rng.ints(_size(scale), 10_000))
+    for _ in range(max(1, _size(scale) // 10)):
+        i = rng.below(_size(scale) - 1)
+        values[i], values[i + 1] = values[i + 1], values[i]
+    return values
+
+
+def source(scale: float = 1.0) -> str:
+    values = _data(scale)
+    header = "\n".join([
+        array_literal("a", values),
+        "int n = %d;" % len(values),
+    ])
+    return header + _BODY
+
+
+def reference(scale: float = 1.0) -> List[int]:
+    values = sorted(_data(scale))
+    acc = 0
+    for i, value in enumerate(values):
+        acc += value if value < 5000 else i
+    return [values[0], values[-1], acc]

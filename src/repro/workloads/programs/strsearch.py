@@ -1,0 +1,74 @@
+"""Naive substring search: nested loops with early exit."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.generate import Xorshift32, array_literal
+
+NAME = "strsearch"
+DESCRIPTION = "naive substring search over a synthetic text"
+SEED = 0x7E47
+
+_BODY = """
+void main() {
+  int matches = 0;
+  int lastpos = 0 - 1;
+  int i;
+  for (i = 0; i + plen <= tlen; i = i + 1) {
+    int j = 0;
+    int ok = 1;
+    while (j < plen) {
+      if (text[i + j] != pattern[j]) {
+        ok = 0;
+        break;
+      }
+      j = j + 1;
+    }
+    if (ok == 1) {
+      matches = matches + 1;
+      lastpos = i;
+    }
+  }
+  print(matches);
+  print(lastpos);
+}
+"""
+
+
+def _text_length(scale: float) -> int:
+    return max(64, int(900 * scale))
+
+
+def _build(scale: float):
+    rng = Xorshift32(SEED)
+    pattern = rng.ints(4, 6)
+    # Small alphabet so partial matches are common, and the pattern is
+    # planted several times so matches exist.
+    text = rng.ints(_text_length(scale), 6)
+    step = max(len(pattern) + 3, len(text) // 12)
+    for start in range(7, len(text) - len(pattern), step):
+        text[start:start + len(pattern)] = pattern
+    return text, pattern
+
+
+def source(scale: float = 1.0) -> str:
+    text, pattern = _build(scale)
+    header = "\n".join([
+        array_literal("text", text),
+        array_literal("pattern", pattern),
+        "int tlen = %d;" % len(text),
+        "int plen = %d;" % len(pattern),
+    ])
+    return header + _BODY
+
+
+def reference(scale: float = 1.0) -> List[int]:
+    text, pattern = _build(scale)
+    matches = 0
+    lastpos = -1
+    for i in range(len(text) - len(pattern) + 1):
+        if text[i:i + len(pattern)] == pattern:
+            matches += 1
+            lastpos = i
+    return [matches, lastpos]

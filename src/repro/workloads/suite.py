@@ -1,0 +1,87 @@
+"""Workload registry and build helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.emulator import Machine, Trace, run_program
+from repro.isa.program import Program
+from repro.lang import CompilerOptions, compile_to_program
+from repro.workloads.programs import (  # noqa: F401 (registry import)
+    board,
+    crc,
+    filtering,
+    hashing,
+    matmul,
+    pchase,
+    qsort,
+    rle,
+    sort,
+    strsearch,
+)
+
+_MODULES = (sort, hashing, pchase, matmul, strsearch, rle, crc, board,
+            filtering, qsort)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: generated source plus a Python reference."""
+
+    name: str
+    description: str
+    source: Callable[[float], str]
+    reference: Callable[[float], List[int]]
+
+    def compile(self, options: CompilerOptions = None,
+                scale: float = 1.0) -> Program:
+        """Compile this workload at *scale* with *options*."""
+        return compile_to_program(self.source(scale), options,
+                                  name=self.name)
+
+    def run(self, options: CompilerOptions = None, scale: float = 1.0,
+            max_steps: int = 10_000_000) -> Tuple[Machine, Trace]:
+        """Compile, execute, and return (machine, trace).
+
+        Raises :class:`AssertionError` if the program's output does not
+        match the Python reference — a full cross-check of compiler,
+        assembler, and emulator on every experiment run.
+        """
+        program = self.compile(options, scale)
+        machine, trace = run_program(program, max_steps=max_steps)
+        expected = self.reference(scale)
+        if machine.output != expected:
+            raise AssertionError(
+                "workload %r produced %r, expected %r" % (
+                    self.name, machine.output, expected))
+        return machine, trace
+
+
+_REGISTRY: Dict[str, Workload] = {
+    module.NAME: Workload(
+        name=module.NAME,
+        description=module.DESCRIPTION,
+        source=module.source,
+        reference=module.reference,
+    )
+    for module in _MODULES
+}
+
+
+def workload_names() -> List[str]:
+    """Names of all workloads, in canonical suite order."""
+    return [module.NAME for module in _MODULES]
+
+
+def get_workload(name: str) -> Workload:
+    """Look up one workload by name."""
+    if name not in _REGISTRY:
+        raise KeyError("unknown workload %r (have: %s)" %
+                       (name, ", ".join(workload_names())))
+    return _REGISTRY[name]
+
+
+def all_workloads() -> List[Workload]:
+    """Every workload, in canonical suite order."""
+    return [_REGISTRY[name] for name in workload_names()]

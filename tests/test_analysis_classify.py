@@ -1,0 +1,88 @@
+"""Static classification and provenance attribution."""
+
+from repro.analysis import (
+    StaticClass,
+    analyze_deadness,
+    classify_statics,
+)
+from repro.emulator import run_program
+from repro.isa import assemble
+
+
+def _classify(source):
+    program = assemble(source)
+    _, trace = run_program(program)
+    analysis = analyze_deadness(trace)
+    return trace, analysis, classify_statics(analysis)
+
+
+def test_fully_and_partially_dead_classes():
+    # A loop where 'li t1, 7' (pc 8) is dead every iteration (fully
+    # dead) and 'add t3' (pc 12) is dead except the last iteration.
+    trace, analysis, classification = _classify("""
+    li   t0, 3
+loop:
+    li   t1, 7           # always overwritten before read: fully dead
+    add  t3, t0, t0      # read only after the loop: partially dead
+    li   t1, 0
+    addi t0, t0, -1
+    bnez t0, loop
+    move a0, t3
+    li   v0, 1
+    syscall
+    halt
+""")
+    classes = classification.classes
+    assert classes[1] == StaticClass.FULLY_DEAD        # li t1, 7 at pc 4
+    assert classes[2] == StaticClass.PARTIALLY_DEAD    # add t3 at pc 8
+    assert classification.n_static_fully_dead == 1
+    assert classification.n_static_partially_dead >= 1
+
+
+def test_counts_are_consistent(analyzed_mini_c):
+    _, trace, analysis = analyzed_mini_c
+    classification = classify_statics(analysis)
+    assert classification.n_dead_instances == analysis.n_dead
+    total = sum(t for t, _ in classification.counts.values())
+    assert total == len(trace)
+    assert (classification.n_static_fully_dead
+            + classification.n_static_partially_dead
+            + classification.n_static_never_dead
+            == classification.n_static_executed)
+    assert (classification.n_dead_from_fully
+            + classification.n_dead_from_partial
+            == classification.n_dead_instances)
+
+
+def test_partial_share(analyzed_mini_c):
+    _, _, analysis = analyzed_mini_c
+    classification = classify_statics(analysis)
+    assert 0.0 <= classification.partial_share <= 1.0
+
+
+def test_provenance_attribution(analyzed_mini_c):
+    _, _, analysis = analyzed_mini_c
+    classification = classify_statics(analysis)
+    breakdown = classification.provenance
+    assert breakdown.total_dead == analysis.n_dead
+    assert sum(breakdown.by_tag.values()) == breakdown.total_dead
+    # The Mini-C fixture at -O2 gets most of its deadness from hoisting.
+    assert breakdown.fraction("sched") > 0.5
+
+
+def test_dead_counts_sorted():
+    _, _, classification = _classify("""
+    li t0, 1
+    li t0, 2
+    li t0, 3
+    halt
+""")
+    ranked = classification.dead_counts_sorted()
+    counts = [dead for _, dead in ranked]
+    assert counts == sorted(counts, reverse=True)
+    assert all(dead > 0 for dead in counts)
+
+
+def test_empty_provenance_fraction():
+    _, _, classification = _classify("nop\nhalt")
+    assert classification.provenance.fraction("sched") == 0.0

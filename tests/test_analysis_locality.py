@@ -1,0 +1,65 @@
+"""Static locality statistics."""
+
+from repro.analysis import analyze_deadness, classify_statics, locality_stats
+from repro.emulator import run_program
+from repro.isa import assemble
+
+
+def _locality(source, targets=(0.5, 0.8, 0.9, 0.95)):
+    program = assemble(source)
+    _, trace = run_program(program)
+    classification = classify_statics(analyze_deadness(trace))
+    return classification, locality_stats(classification, targets)
+
+
+SKEWED = """
+    li   t0, 20
+loop:
+    li   t1, 1           # fully dead, executed 20 times
+    li   t1, 2
+    addi t0, t0, -1
+    bnez t0, loop
+    li   t2, 9           # dead once
+    li   t2, 0
+    move a0, t0
+    li   v0, 1
+    syscall
+    halt
+"""
+
+
+def test_skewed_distribution():
+    classification, locality = _locality(SKEWED)
+    # 40 dead instances: 'li t1, 1' dies 20 times, 'li t1, 2' dies 19
+    # times (its final instance is conservatively live at program end),
+    # and 'li t2, 9' dies once.
+    assert locality.n_dead_instances == 40
+    assert locality.n_dead_producing_statics == 3
+    assert locality.statics_for_coverage[0.5] == 1
+    assert locality.statics_for_coverage[0.95] == 2  # 39/40 covered
+    # Full coverage needs all three statics.
+    _, strict = _locality(SKEWED, targets=(0.99,))
+    assert strict.statics_for_coverage[0.99] == 3
+
+
+def test_cdf_monotone(analyzed_mini_c):
+    _, _, analysis = analyzed_mini_c
+    locality = locality_stats(classify_statics(analysis))
+    cdf = locality.cdf
+    assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+    assert abs(cdf[-1] - 1.0) < 1e-9
+
+
+def test_statics_fraction(analyzed_mini_c):
+    _, _, analysis = analyzed_mini_c
+    locality = locality_stats(classify_statics(analysis))
+    fraction = locality.statics_fraction(0.8)
+    assert 0.0 < fraction <= 1.0
+
+
+def test_no_dead_instances():
+    _, locality = _locality("nop\nhalt")
+    assert locality.n_dead_instances == 0
+    assert locality.cdf == []
+    # Unreachable targets report the full (empty) ranking.
+    assert locality.statics_for_coverage[0.5] == 0

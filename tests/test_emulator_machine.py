@@ -1,0 +1,340 @@
+"""Architectural semantics of every instruction class."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.emulator import EmulationError, Machine, run_program
+from repro.emulator.machine import StepLimitExceeded, _signed
+from repro.isa import Opcode, assemble
+from repro.isa.program import STACK_BASE, DATA_BASE
+
+_M32 = 0xFFFFFFFF
+
+
+def run_asm(body, data=""):
+    """Assemble a body that leaves results in registers; return machine."""
+    source = body + "\n    halt\n"
+    if data:
+        source += ".data\n" + data
+    program = assemble(source)
+    machine = Machine(program)
+    machine.run()
+    assert machine.halted
+    return machine
+
+
+def reg(machine, name):
+    from repro.isa import reg_number
+
+    return machine.regs[reg_number(name)]
+
+
+# ---- R-format ALU ----
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    ("add", 3, 4, 7),
+    ("add", _M32, 1, 0),            # wraparound
+    ("sub", 3, 4, _M32),            # -1 unsigned
+    ("and", 0b1100, 0b1010, 0b1000),
+    ("or", 0b1100, 0b1010, 0b1110),
+    ("xor", 0b1100, 0b1010, 0b0110),
+    ("nor", 0, 0, _M32),
+    ("slt", 5, 6, 1),
+    ("slt", 6, 5, 0),
+    ("slt", _M32, 0, 1),            # -1 < 0 signed
+    ("sltu", _M32, 0, 0),           # max unsigned not < 0
+    ("mul", 7, 6, 42),
+    ("mul", 0x10000, 0x10000, 0),   # high bits dropped
+    ("div", 7, 2, 3),
+    ("div", 7, 0, _M32),            # division by zero
+    ("rem", 7, 2, 1),
+    ("rem", 7, 0, 7),               # remainder by zero
+])
+def test_r_format_alu(op, a, b, expected):
+    machine = run_asm("""
+    li t0, %d
+    li t1, %d
+    %s t2, t0, t1
+""" % (_signed(a), _signed(b), op))
+    assert reg(machine, "t2") == expected
+
+
+def test_signed_division_truncates_toward_zero():
+    machine = run_asm("""
+    li t0, -7
+    li t1, 2
+    div t2, t0, t1
+    rem t3, t0, t1
+""")
+    assert _signed(reg(machine, "t2")) == -3
+    assert _signed(reg(machine, "t3")) == -1
+
+
+def test_mulh_signed_high_word():
+    machine = run_asm("""
+    li t0, -2
+    li t1, 3
+    mulh t2, t0, t1
+""")
+    assert reg(machine, "t2") == _M32  # high word of -6
+
+
+def test_variable_shifts_mask_amount():
+    machine = run_asm("""
+    li t0, 1
+    li t1, 33
+    sllv t2, t0, t1
+    li t3, -8
+    li t4, 2
+    srav t5, t3, t4
+    srlv t6, t3, t4
+""")
+    assert reg(machine, "t2") == 2  # shift by 33 & 31 == 1
+    assert _signed(reg(machine, "t5")) == -2
+    assert reg(machine, "t6") == (0xFFFFFFF8 >> 2)
+
+
+# ---- I-format ALU ----
+
+def test_immediate_alu():
+    machine = run_asm("""
+    li   t0, 10
+    addi t1, t0, -3
+    andi t2, t0, 0xFF
+    ori  t3, t0, 0x100
+    xori t4, t0, 2
+    slti t5, t0, 11
+    slli t6, t0, 3
+    srli t7, t0, 1
+""")
+    assert reg(machine, "t1") == 7
+    assert reg(machine, "t2") == 10
+    assert reg(machine, "t3") == 0x10A
+    assert reg(machine, "t4") == 8
+    assert reg(machine, "t5") == 1
+    assert reg(machine, "t6") == 80
+    assert reg(machine, "t7") == 5
+
+
+def test_lui():
+    machine = run_asm("lui t0, 0x1234")
+    assert reg(machine, "t0") == 0x12340000
+
+
+def test_srai_sign_extends():
+    machine = run_asm("""
+    li t0, -16
+    srai t1, t0, 2
+""")
+    assert _signed(reg(machine, "t1")) == -4
+
+
+def test_writes_to_zero_discarded():
+    machine = run_asm("""
+    li   t0, 5
+    add  zero, t0, t0
+    addi zero, t0, 9
+""")
+    assert machine.regs[0] == 0
+
+
+# ---- memory ----
+
+def test_load_store_word():
+    machine = run_asm("""
+    li t0, 77
+    sw t0, 0(gp)
+    lw t1, 0(gp)
+""")
+    assert reg(machine, "t1") == 77
+
+
+def test_byte_access_sign_extension():
+    machine = run_asm("""
+    li t0, 0x80
+    sb t0, 0(gp)
+    lb t1, 0(gp)
+    lbu t2, 0(gp)
+""")
+    assert reg(machine, "t1") == 0xFFFFFF80
+    assert reg(machine, "t2") == 0x80
+
+
+def test_data_segment_initialized():
+    machine = run_asm("lw t0, 0(gp)", data="x: .word 123")
+    assert reg(machine, "t0") == 123
+
+
+def test_initial_pointers():
+    program = assemble("halt")
+    machine = Machine(program)
+    assert machine.regs[2] == STACK_BASE
+    assert machine.regs[3] == DATA_BASE
+
+
+def test_unaligned_load_faults():
+    program = assemble("""
+    li t0, 2
+    lw t1, 0(t0)
+    halt
+""")
+    machine = Machine(program)
+    with pytest.raises(ValueError):
+        machine.run()
+
+
+# ---- control flow ----
+
+def test_taken_and_not_taken_branches():
+    machine = run_asm("""
+    li t0, 1
+    li t1, 2
+    blt t0, t1, taken
+    li t2, 111
+taken:
+    bge t0, t1, nottaken
+    li t3, 222
+nottaken:
+""")
+    assert reg(machine, "t2") == 0      # skipped
+    assert reg(machine, "t3") == 222    # executed
+
+
+def test_unsigned_branches():
+    machine = run_asm("""
+    li t0, -1
+    li t1, 1
+    bltu t1, t0, yes      # 1 < 0xFFFFFFFF unsigned
+    li t2, 1
+yes:
+    bgeu t1, t0, no
+    li t3, 5
+no:
+""")
+    assert reg(machine, "t2") == 0
+    assert reg(machine, "t3") == 5
+
+
+def test_jal_writes_return_address():
+    machine = run_asm("""
+    jal target
+back:
+    j out
+target:
+    move t0, ra
+    jalr zero, ra
+out:
+""")
+    assert reg(machine, "t0") == 4  # return address of first jal
+
+
+def test_jalr_with_destination():
+    machine = run_asm("""
+    la  t0, spot
+    jalr t1, t0
+spot:
+""")
+    assert reg(machine, "t1") == 12  # la is two instructions, jalr at 8
+
+
+def test_fetch_past_end_faults():
+    program = assemble("nop")  # no halt
+    machine = Machine(program)
+    with pytest.raises(EmulationError):
+        machine.run()
+
+
+def test_step_limit():
+    program = assemble("x: j x")
+    machine = Machine(program)
+    with pytest.raises(StepLimitExceeded):
+        machine.run(max_steps=100)
+
+
+# ---- syscalls ----
+
+def test_print_int_and_char():
+    machine = run_asm("""
+    li a0, -42
+    li v0, 1
+    syscall
+    li a0, 65
+    li v0, 2
+    syscall
+""")
+    assert machine.output == [-42, "A"]
+
+
+def test_exit_syscall_halts():
+    machine = run_asm("""
+    li v0, 10
+    syscall
+    li t0, 99
+""")
+    assert reg(machine, "t0") == 0  # never executed
+
+
+def test_unknown_syscall_faults():
+    program = assemble("""
+    li v0, 77
+    syscall
+    halt
+""")
+    machine = Machine(program)
+    with pytest.raises(EmulationError):
+        machine.run()
+
+
+# ---- step() versus run() equivalence ----
+
+def test_step_matches_run(simple_loop_program):
+    stepper = Machine(simple_loop_program)
+    runner = Machine(simple_loop_program)
+    runner.run()
+    for _ in range(10_000):
+        if stepper.halted:
+            break
+        stepper.step()
+    assert stepper.halted
+    assert stepper.regs == runner.regs
+    assert stepper.output == runner.output
+
+
+# ---- differential property: straight-line ALU vs Python model ----
+
+_OPS = ["add", "sub", "and", "or", "xor", "mul", "slt", "sltu"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(_OPS),
+                          st.integers(11, 18),   # t0..t7
+                          st.integers(11, 18),
+                          st.integers(11, 18)),
+                min_size=1, max_size=30),
+       st.lists(st.integers(-1000, 1000), min_size=8, max_size=8))
+def test_straight_line_alu_matches_model(instructions, seeds):
+    lines = ["li r%d, %d" % (11 + index, seed)
+             for index, seed in enumerate(seeds)]
+    model = {11 + index: seed & _M32 for index, seed in enumerate(seeds)}
+    for op, rd, rs1, rs2 in instructions:
+        lines.append("%s r%d, r%d, r%d" % (op, rd, rs1, rs2))
+        a, b = model[rs1], model[rs2]
+        if op == "add":
+            model[rd] = (a + b) & _M32
+        elif op == "sub":
+            model[rd] = (a - b) & _M32
+        elif op == "and":
+            model[rd] = a & b
+        elif op == "or":
+            model[rd] = a | b
+        elif op == "xor":
+            model[rd] = a ^ b
+        elif op == "mul":
+            model[rd] = (a * b) & _M32
+        elif op == "slt":
+            model[rd] = int(_signed(a) < _signed(b))
+        else:
+            model[rd] = int(a < b)
+    machine = run_asm("\n".join("    " + line for line in lines))
+    for register, expected in model.items():
+        assert machine.regs[register] == expected

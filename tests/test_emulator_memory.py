@@ -1,0 +1,85 @@
+"""Sparse memory: word/byte consistency and bounds."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.emulator import Memory
+
+
+def test_unwritten_memory_reads_zero():
+    memory = Memory()
+    assert memory.load_word(0x1000) == 0
+    assert memory.load_byte(0x1001) == 0
+
+
+def test_word_store_load():
+    memory = Memory()
+    memory.store_word(8, 0xDEADBEEF)
+    assert memory.load_word(8) == 0xDEADBEEF
+
+
+def test_word_wraps_to_32_bits():
+    memory = Memory()
+    memory.store_word(0, (1 << 40) | 5)
+    assert memory.load_word(0) == 5
+
+
+def test_bytes_are_little_endian_within_word():
+    memory = Memory()
+    memory.store_word(4, 0x04030201)
+    assert [memory.load_byte(4 + i) for i in range(4)] == [1, 2, 3, 4]
+
+
+def test_byte_store_updates_word():
+    memory = Memory()
+    memory.store_word(0, 0x11223344)
+    memory.store_byte(1, 0xAB)
+    assert memory.load_word(0) == 0x1122AB44
+
+
+def test_unaligned_word_access_rejected():
+    memory = Memory()
+    with pytest.raises(ValueError):
+        memory.load_word(2)
+    with pytest.raises(ValueError):
+        memory.store_word(5, 1)
+
+
+def test_out_of_range_rejected():
+    memory = Memory(limit=0x100)
+    with pytest.raises(IndexError):
+        memory.load_word(0x100)
+    with pytest.raises(IndexError):
+        memory.store_byte(-1, 0)
+
+
+def test_initial_contents():
+    memory = Memory({0: 7, 8: 9})
+    assert memory.load_word(0) == 7
+    assert memory.load_word(8) == 9
+    assert len(memory) == 2
+
+
+@given(st.lists(st.tuples(st.integers(0, 1023),
+                          st.integers(0, 255)), min_size=1, max_size=64))
+def test_byte_writes_match_reference_model(writes):
+    """Property: byte stores behave like a flat byte array."""
+    memory = Memory()
+    reference = {}
+    for address, value in writes:
+        memory.store_byte(address, value)
+        reference[address] = value
+    for address, value in reference.items():
+        assert memory.load_byte(address) == value
+
+
+@given(st.integers(0, 255), st.integers(0, 0xFFFFFFFF))
+def test_word_byte_agreement(address_word, value):
+    """Property: a word store is exactly four byte stores."""
+    address = address_word * 4
+    via_word = Memory()
+    via_word.store_word(address, value)
+    via_bytes = Memory()
+    for i in range(4):
+        via_bytes.store_byte(address + i, (value >> (8 * i)) & 0xFF)
+    assert via_word.load_word(address) == via_bytes.load_word(address)

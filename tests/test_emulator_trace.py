@@ -1,0 +1,59 @@
+"""Trace capture: structure-of-arrays contents."""
+
+from repro.emulator import Machine, Trace, run_program
+from repro.isa import Opcode, assemble
+
+
+def test_trace_records_every_committed_instruction(simple_loop_program):
+    machine, trace = run_program(simple_loop_program)
+    assert len(trace) == machine.instructions_executed
+    assert len(trace.pcs) == len(trace.taken) == len(trace.addrs)
+
+
+def test_branch_outcomes_recorded():
+    program = assemble("""
+    li t0, 2
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    halt
+""")
+    _, trace = run_program(program)
+    outcomes = [trace.taken[i] for i in range(len(trace))
+                if trace.instruction(i).opcode == Opcode.BNE]
+    assert outcomes == [True, False]
+
+
+def test_jumps_marked_taken(simple_loop_trace):
+    for i in range(len(simple_loop_trace)):
+        instr = simple_loop_trace.instruction(i)
+        if instr.opcode in (Opcode.J, Opcode.JAL, Opcode.JALR):
+            assert simple_loop_trace.taken[i]
+
+
+def test_memory_addresses_recorded():
+    program = assemble("""
+    li t0, 7
+    sw t0, 8(gp)
+    lw t1, 8(gp)
+    halt
+""")
+    _, trace = run_program(program)
+    from repro.isa.program import DATA_BASE
+
+    assert trace.addrs[1] == DATA_BASE + 8
+    assert trace.addrs[2] == DATA_BASE + 8
+    assert trace.addrs[0] == -1  # non-memory op
+
+
+def test_static_index_matches_instruction(simple_loop_trace):
+    program = simple_loop_trace.program
+    for i in range(len(simple_loop_trace)):
+        si = simple_loop_trace.static_index(i)
+        assert program.instructions[si].pc == simple_loop_trace.pcs[i]
+
+
+def test_tracing_optional(simple_loop_program):
+    machine = Machine(simple_loop_program)
+    machine.run(trace=None)
+    assert machine.halted

@@ -1,0 +1,57 @@
+"""Every example script runs end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script, *args, timeout=240):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "program output:        [15]" in out
+    assert "directly dead" in out
+
+
+def test_characterize_workload():
+    out = _run("characterize_workload.py", "rle", "0.3")
+    assert "-O0:" in out and "-O2:" in out
+    assert "provenance" in out
+    assert "locality" in out
+
+
+def test_predictor_exploration():
+    out = _run("predictor_exploration.py", "rle")
+    assert "table size sweep" in out
+    assert "bimodal" in out
+
+
+def test_pipeline_elimination():
+    out = _run("pipeline_elimination.py", "sort", "0.3")
+    assert "default machine" in out
+    assert "contended machine" in out
+    assert "eliminated" in out
+
+
+def test_custom_workload():
+    out = _run("custom_workload.py")
+    assert "@sched" in out
+    assert "-O0:" in out and "-O2:" in out
+
+
+@pytest.mark.parametrize("script", ["characterize_workload.py"])
+def test_examples_reject_bad_workload(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), "nosuch"],
+        capture_output=True, text=True, timeout=120)
+    assert completed.returncode != 0

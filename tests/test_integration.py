@@ -1,0 +1,107 @@
+"""Full-stack integration: source text to speedup, in one test module.
+
+These tests thread a single program through every layer the way the
+harness does, asserting the cross-layer contracts (counts that must
+agree between the emulator, the analysis, and the timing model).
+"""
+
+from repro.analysis import analyze_deadness, classify_statics
+from repro.emulator import run_program
+from repro.lang import CompilerOptions, compile_to_program
+from repro.pipeline import contended_config, default_config, simulate
+from repro.predictors import (
+    PathDeadPredictor,
+    compute_paths,
+    evaluate_predictor,
+)
+
+SOURCE = """
+int xs[32];
+int n = 32;
+
+void fill() {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    xs[i] = (i * 37 + 11) % 64;
+  }
+}
+
+int tally(int cut) {
+  int acc = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    int v = xs[i];
+    if (v < cut) {
+      acc = acc + v;
+    } else {
+      acc = acc - 1;
+    }
+  }
+  return acc;
+}
+
+void main() {
+  fill();
+  print(tally(20));
+  print(tally(50));
+}
+"""
+
+
+def _stack():
+    program = compile_to_program(SOURCE, CompilerOptions(opt_level=2))
+    machine, trace = run_program(program)
+    analysis = analyze_deadness(trace)
+    return program, machine, trace, analysis
+
+
+def test_layer_contracts():
+    program, machine, trace, analysis = _stack()
+    # Emulator/trace agreement.
+    assert machine.instructions_executed == len(trace)
+    # Analysis covers the trace exactly.
+    assert len(analysis.dead) == len(trace)
+    classification = classify_statics(analysis)
+    assert classification.n_dead_instances == analysis.n_dead
+    # Timing model commits the whole trace on every configuration.
+    for config in (default_config(), contended_config(),
+                   default_config(eliminate=True),
+                   contended_config(eliminate=True)):
+        result = simulate(trace, config, analysis)
+        assert result.stats.committed == len(trace)
+
+
+def test_predictor_to_pipeline_consistency():
+    """The eliminated count in the pipeline cannot exceed what the
+    standalone predictor would ever predict dead (same design, but the
+    pipeline acts only at full confidence and applies strikes)."""
+    _, _, trace, analysis = _stack()
+    paths = compute_paths(trace, analysis.statics, path_bits=3)
+    stats = evaluate_predictor(
+        analysis, PathDeadPredictor(threshold=3), paths)
+    result = simulate(trace, default_config(eliminate=True,
+                                            eliminate_stores=False),
+                      analysis)
+    assert result.stats.eliminated <= stats.predicted_dead
+
+
+def test_elimination_profits_where_it_should():
+    _, _, trace, analysis = _stack()
+    base = simulate(trace, contended_config(), analysis)
+    elim = simulate(trace, contended_config(eliminate=True), analysis)
+    # This branchy kernel has plenty of hoisted deadness; under
+    # contention elimination must not lose performance.
+    assert elim.stats.ipc >= base.stats.ipc * 0.99
+    assert elim.stats.preg_allocs < base.stats.preg_allocs
+
+
+def test_deterministic_end_to_end():
+    first = _stack()
+    second = _stack()
+    assert first[1].output == second[1].output
+    assert first[3].n_dead == second[3].n_dead
+    result_a = simulate(first[2], default_config(eliminate=True),
+                        first[3])
+    result_b = simulate(second[2], default_config(eliminate=True),
+                        second[3])
+    assert result_a.stats.cycles == result_b.stats.cycles

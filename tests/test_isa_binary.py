@@ -1,0 +1,89 @@
+"""The .rpo program-image format."""
+
+import pytest
+
+from repro.emulator import run_program
+from repro.isa import assemble
+from repro.isa.binary import (
+    BinaryFormatError,
+    load_program,
+    read_program,
+    save_program,
+    write_program,
+)
+from repro.lang import compile_to_program
+
+SOURCE = """
+_start:
+    jal main
+    halt
+main:
+    li   t0, 5      @sched
+    lw   t1, 0(gp)
+    add  a0, t0, t1
+    li   v0, 1
+    syscall
+    ret
+.data
+seed: .word 37
+"""
+
+
+def test_roundtrip_structure():
+    program = assemble(SOURCE, name="image-test")
+    loaded = load_program(save_program(program))
+    assert loaded.name == "image-test"
+    assert loaded.entry == program.entry
+    assert loaded.symbols == program.symbols
+    assert loaded.data == program.data
+    assert len(loaded.instructions) == len(program.instructions)
+    for original, restored in zip(program.instructions,
+                                  loaded.instructions):
+        assert original.opcode == restored.opcode
+        assert original.pc == restored.pc
+        assert original.provenance == restored.provenance
+
+
+def test_roundtrip_execution():
+    program = assemble(SOURCE)
+    loaded = load_program(save_program(program))
+    machine_a, _ = run_program(program)
+    machine_b, _ = run_program(loaded)
+    assert machine_a.output == machine_b.output == [42]
+
+
+def test_compiled_program_roundtrips(mini_c_source):
+    program = compile_to_program(mini_c_source)
+    loaded = load_program(save_program(program))
+    machine_a, _ = run_program(program)
+    machine_b, _ = run_program(loaded)
+    assert machine_a.output == machine_b.output
+    # Provenance survives for the characterization tools.
+    assert loaded.provenance == program.provenance
+
+
+def test_file_io(tmp_path):
+    program = assemble(SOURCE, name="disk")
+    path = tmp_path / "disk.rpo"
+    write_program(program, str(path))
+    loaded = read_program(str(path))
+    assert loaded.name == "disk"
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(BinaryFormatError):
+        load_program(b"NOPE" + b"\x00" * 32)
+
+
+def test_truncated_rejected():
+    program = assemble(SOURCE)
+    image = save_program(program)
+    with pytest.raises(BinaryFormatError):
+        load_program(image[:20])
+
+
+def test_corrupt_metadata_rejected():
+    program = assemble("nop\nhalt")
+    image = save_program(program)
+    with pytest.raises(BinaryFormatError):
+        load_program(image[:-5])  # chop the JSON trailer

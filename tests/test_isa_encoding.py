@@ -1,0 +1,114 @@
+"""Binary encoding: exactness, ranges, and a full round-trip property."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    EncodingError,
+    Format,
+    Instruction,
+    Opcode,
+    OPCODE_INFO,
+    decode,
+    encode,
+)
+from repro.isa.encoding import IMM16_MAX, IMM16_MIN, IMM26_MAX
+
+_REG = st.integers(min_value=0, max_value=31)
+
+
+def _instruction_strategy():
+    def build(opcode, ra, rb, rc, imm_signed, imm_unsigned, imm26):
+        info = OPCODE_INFO[opcode]
+        if info.format == Format.R:
+            rd = ra
+            if opcode == Opcode.JALR:
+                return Instruction(opcode, rd=ra, rs1=rb)
+            return Instruction(opcode, rd=ra, rs1=rb, rs2=rc)
+        if info.format == Format.J:
+            rd = 1 if opcode == Opcode.JAL else 0
+            return Instruction(opcode, rd=rd, imm=imm26)
+        imm = imm_unsigned if info.zero_ext_imm else imm_signed
+        if info.is_store:
+            return Instruction(opcode, rs2=ra, rs1=rb, imm=imm)
+        if info.is_branch:
+            return Instruction(opcode, rs1=ra, rs2=rb, imm=imm)
+        return Instruction(opcode, rd=ra, rs1=rb, imm=imm)
+
+    return st.builds(
+        build,
+        st.sampled_from(list(Opcode)),
+        _REG, _REG, _REG,
+        st.integers(min_value=IMM16_MIN, max_value=IMM16_MAX),
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=IMM26_MAX),
+    )
+
+
+@given(_instruction_strategy())
+def test_encode_decode_roundtrip(instruction):
+    word = encode(instruction)
+    assert 0 <= word < (1 << 32)
+    decoded = decode(word)
+    assert decoded.opcode == instruction.opcode
+    info = OPCODE_INFO[instruction.opcode]
+    if info.writes_rd:
+        assert decoded.rd == instruction.rd
+    if info.reads_rs1:
+        assert decoded.rs1 == instruction.rs1
+    if info.reads_rs2:
+        assert decoded.rs2 == instruction.rs2
+    if info.format != Format.R:
+        assert decoded.imm == instruction.imm
+
+
+def test_imm16_overflow_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.ADDI, rd=1, rs1=1, imm=40000))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.ADDI, rd=1, rs1=1, imm=-40000))
+
+
+def test_zero_extended_range():
+    encode(Instruction(Opcode.ORI, rd=1, rs1=1, imm=0xFFFF))  # fine
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.ORI, rd=1, rs1=1, imm=-1))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.LUI, rd=1, imm=0x10000))
+
+
+def test_jump_range():
+    encode(Instruction(Opcode.J, imm=IMM26_MAX))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.J, imm=IMM26_MAX + 1))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.J, imm=-1))
+
+
+def test_register_out_of_range_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.ADD, rd=32, rs1=0, rs2=0))
+
+
+def test_decode_rejects_bad_opcode():
+    with pytest.raises(EncodingError):
+        decode(63 << 26)
+
+
+def test_decode_rejects_oversized_word():
+    with pytest.raises(EncodingError):
+        decode(1 << 32)
+    with pytest.raises(EncodingError):
+        decode(-1)
+
+
+def test_jal_decodes_with_link_register():
+    word = encode(Instruction(Opcode.JAL, rd=1, imm=16))
+    assert decode(word).rd == 1
+
+
+def test_negative_branch_offset_roundtrip():
+    word = encode(Instruction(Opcode.BNE, rs1=3, rs2=4, imm=-24))
+    decoded = decode(word)
+    assert decoded.imm == -24
+    assert (decoded.rs1, decoded.rs2) == (3, 4)

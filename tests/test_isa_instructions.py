@@ -1,0 +1,82 @@
+"""Opcode metadata invariants: the rest of the system trusts this table."""
+
+from repro.isa import Instruction, Opcode, OPCODE_INFO, Format
+
+
+def test_table_covers_every_opcode():
+    assert len(OPCODE_INFO) == len(Opcode)
+
+
+def test_mnemonics_unique():
+    mnemonics = [info.mnemonic for info in OPCODE_INFO]
+    assert len(set(mnemonics)) == len(mnemonics)
+
+
+def test_branches_read_two_sources_write_nothing():
+    for opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+                   Opcode.BLTU, Opcode.BGEU):
+        info = OPCODE_INFO[opcode]
+        assert info.is_branch
+        assert info.has_side_effect
+        assert info.reads_rs1 and info.reads_rs2
+        assert not info.writes_rd
+
+
+def test_stores_have_side_effects():
+    for opcode in (Opcode.SW, Opcode.SB):
+        info = OPCODE_INFO[opcode]
+        assert info.is_store and info.has_side_effect
+        assert not info.writes_rd
+
+
+def test_loads_write_and_read_base():
+    for opcode in (Opcode.LW, Opcode.LB, Opcode.LBU):
+        info = OPCODE_INFO[opcode]
+        assert info.is_load and info.writes_rd and info.reads_rs1
+        assert not info.has_side_effect
+
+
+def test_alu_ops_are_side_effect_free():
+    for opcode in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV,
+                   Opcode.ADDI, Opcode.LUI, Opcode.SLT):
+        info = OPCODE_INFO[opcode]
+        assert info.writes_rd
+        assert not info.has_side_effect
+
+
+def test_jumps_are_control():
+    for opcode in (Opcode.J, Opcode.JAL, Opcode.JALR):
+        info = OPCODE_INFO[opcode]
+        assert info.is_jump and info.is_control and info.has_side_effect
+    assert OPCODE_INFO[Opcode.JAL].writes_rd
+    assert OPCODE_INFO[Opcode.JALR].writes_rd
+    assert not OPCODE_INFO[Opcode.J].writes_rd
+
+
+def test_zero_extended_immediates():
+    for opcode in (Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.LUI):
+        assert OPCODE_INFO[opcode].zero_ext_imm
+    for opcode in (Opcode.ADDI, Opcode.SLTI, Opcode.LW, Opcode.BEQ):
+        assert not OPCODE_INFO[opcode].zero_ext_imm
+
+
+def test_dest_property_hides_zero_register():
+    live = Instruction(Opcode.ADD, rd=5, rs1=1, rs2=2)
+    assert live.dest == 5
+    discarded = Instruction(Opcode.ADD, rd=0, rs1=1, rs2=2)
+    assert discarded.dest is None
+    store = Instruction(Opcode.SW, rs1=2, rs2=3, imm=4)
+    assert store.dest is None
+
+
+def test_sources_property():
+    assert Instruction(Opcode.ADD, rd=5, rs1=1, rs2=2).sources == (1, 2)
+    assert Instruction(Opcode.ADDI, rd=5, rs1=7, imm=1).sources == (7,)
+    assert Instruction(Opcode.LUI, rd=5, imm=1).sources == ()
+    assert Instruction(Opcode.SW, rs1=2, rs2=9).sources == (2, 9)
+    assert Instruction(Opcode.J, imm=4).sources == ()
+
+
+def test_formats_partition():
+    for info in OPCODE_INFO:
+        assert info.format in (Format.R, Format.I, Format.J)

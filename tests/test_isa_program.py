@@ -1,0 +1,57 @@
+"""The Program container."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.program import DATA_BASE, STACK_BASE, TEXT_BASE
+
+SOURCE = """
+_start:
+    nop
+main:
+    add t0, t1, t2  @sched
+    halt
+.data
+value: .word 9
+"""
+
+
+def test_addresses():
+    assert TEXT_BASE == 0
+    assert DATA_BASE == 0x10000
+    assert STACK_BASE > DATA_BASE
+
+
+def test_len_and_static_count():
+    program = assemble(SOURCE)
+    assert len(program) == 3
+    assert program.static_count() == 3
+
+
+def test_instruction_at():
+    program = assemble(SOURCE)
+    assert program.instruction_at(4).rd == 11  # t0
+    with pytest.raises(IndexError):
+        program.instruction_at(2)   # unaligned
+    with pytest.raises(IndexError):
+        program.instruction_at(400)
+
+
+def test_provenance_map():
+    program = assemble(SOURCE)
+    assert program.provenance == {4: "sched"}
+
+
+def test_symbol_at():
+    program = assemble(SOURCE)
+    assert program.symbol_at(0) == "_start"
+    assert program.symbol_at(4) == "main"
+    assert program.symbol_at(DATA_BASE) == "value"
+    assert program.symbol_at(0x999) is None
+
+
+def test_entry_resolution():
+    program = assemble(SOURCE)
+    assert program.entry == 0
+    shifted = assemble("nop\n_start: halt")
+    assert shifted.entry == 4

@@ -1,0 +1,48 @@
+"""Register naming conventions."""
+
+import pytest
+
+from repro.isa import NUM_REGS, REG_NAMES, reg_name, reg_number
+from repro.isa.registers import A0, AT, GP, K0, RA, SP, V0, ZERO
+
+
+def test_register_count():
+    assert NUM_REGS == 32
+    assert len(REG_NAMES) == 32
+
+
+def test_names_are_unique():
+    assert len(set(REG_NAMES)) == 32
+
+
+def test_well_known_registers():
+    assert reg_number("zero") == ZERO == 0
+    assert reg_number("ra") == RA == 1
+    assert reg_number("sp") == SP == 2
+    assert reg_number("gp") == GP == 3
+    assert reg_number("v0") == V0 == 5
+    assert reg_number("a0") == A0 == 7
+    assert reg_number("k0") == K0 == 29
+    assert reg_number("at") == AT == 31
+
+
+def test_rn_aliases():
+    for number in range(32):
+        assert reg_number("r%d" % number) == number
+
+
+def test_name_number_roundtrip():
+    for number in range(32):
+        assert reg_number(reg_name(number)) == number
+
+
+def test_case_insensitive():
+    assert reg_number("T0") == reg_number("t0")
+    assert reg_number("ZERO") == 0
+
+
+def test_unknown_register_raises():
+    with pytest.raises(KeyError):
+        reg_number("r32")
+    with pytest.raises(KeyError):
+        reg_number("bogus")

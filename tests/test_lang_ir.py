@@ -1,0 +1,73 @@
+"""IR node contracts: defs/uses/side effects drive every lang pass."""
+
+from repro.lang import ir
+
+
+def test_operand_vregs_filters_immediates():
+    a = ir.VReg(1)
+    assert ir.operand_vregs(a, 5, ir.VReg(2), 0) == [a, ir.VReg(2)]
+
+
+def test_binop_defs_uses():
+    a, b, c = ir.VReg(0), ir.VReg(1), ir.VReg(2)
+    node = ir.BinOp(dst=c, op="+", a=a, b=b)
+    assert node.defs() == [c]
+    assert node.uses() == [a, b]
+    assert node.side_effect_free
+    mixed = ir.BinOp(dst=c, op="+", a=a, b=7)
+    assert mixed.uses() == [a]
+
+
+def test_memory_nodes():
+    base, value, dst = ir.VReg(0), ir.VReg(1), ir.VReg(2)
+    load = ir.Load(dst=dst, base=base, offset=4)
+    assert load.defs() == [dst] and load.uses() == [base]
+    assert not load.side_effect_free  # hoisting policy
+    store = ir.Store(src=value, base=base, offset=0)
+    assert store.defs() == [] and set(store.uses()) == {value, base}
+
+
+def test_call_defs_uses():
+    a, b, result = ir.VReg(0), ir.VReg(1), ir.VReg(2)
+    call = ir.Call(dst=result, name="f", args=[a, 3, b])
+    assert call.defs() == [result]
+    assert call.uses() == [a, b]
+    void_call = ir.Call(dst=None, name="g", args=[])
+    assert void_call.defs() == []
+
+
+def test_terminator_successors():
+    branch = ir.CondBr(op="<", a=ir.VReg(0), b=0, if_true="t",
+                       if_false="f")
+    assert branch.successors() == ["t", "f"]
+    assert ir.Jump(target="x").successors() == ["x"]
+    assert ir.Ret(value=ir.VReg(1)).successors() == []
+    assert ir.Ret(value=ir.VReg(1)).uses() == [ir.VReg(1)]
+    assert ir.Ret().uses() == []
+
+
+def test_function_plumbing():
+    function = ir.IRFunction(name="f")
+    v0 = function.new_vreg()
+    v1 = function.new_vreg()
+    assert v0 != v1 and v1.id == 1
+    a = ir.Block("a", [], ir.Jump(target="b"))
+    b = ir.Block("b", [], ir.Ret())
+    function.blocks = [a, b]
+    assert function.block_map()["b"] is b
+    assert function.predecessors() == {"a": [], "b": ["a"]}
+
+
+def test_module_function_lookup():
+    module = ir.IRModule(functions=[ir.IRFunction(name="main")])
+    assert module.function("main").name == "main"
+    try:
+        module.function("ghost")
+        assert False
+    except KeyError:
+        pass
+
+
+def test_vreg_hashable_identity():
+    assert ir.VReg(3) == ir.VReg(3)
+    assert len({ir.VReg(3), ir.VReg(3), ir.VReg(4)}) == 2

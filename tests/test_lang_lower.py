@@ -1,0 +1,225 @@
+"""AST -> IR lowering: structure, folding, condition lowering, errors."""
+
+import pytest
+
+from repro.lang import ir
+from repro.lang.errors import CompileError
+from repro.lang.lower import lower_program
+from repro.lang.parser import parse
+
+
+def lower(source):
+    return lower_program(parse(source))
+
+
+def main_fn(module):
+    return module.function("main")
+
+
+def all_instrs(function):
+    out = []
+    for block in function.blocks:
+        out.extend(block.instrs)
+        if block.terminator is not None:
+            out.append(block.terminator)
+    return out
+
+
+def test_requires_main():
+    with pytest.raises(CompileError):
+        lower("int f() { return 1; }")
+
+
+def test_constant_folding():
+    module = lower("void main() { print(2 + 3 * 4); }")
+    prints = [i for i in all_instrs(main_fn(module))
+              if isinstance(i, ir.Print)]
+    assert prints[0].value == 14
+
+
+def test_constant_division_semantics():
+    module = lower("void main() { print(-7 / 2); print(-7 % 2); }")
+    prints = [i for i in all_instrs(main_fn(module))
+              if isinstance(i, ir.Print)]
+    assert prints[0].value == -3  # truncation toward zero
+    assert prints[1].value == -1
+
+
+def test_constant_division_by_zero_rejected():
+    with pytest.raises(CompileError):
+        lower("void main() { print(1 / 0); }")
+
+
+def test_if_produces_diamond():
+    module = lower("""
+int x;
+void main() {
+  if (x < 3) { x = 1; } else { x = 2; }
+}
+""")
+    function = main_fn(module)
+    cond_blocks = [b for b in function.blocks
+                   if isinstance(b.terminator, ir.CondBr)]
+    assert len(cond_blocks) == 1
+    terminator = cond_blocks[0].terminator
+    preds = function.predecessors()
+    assert len(preds[terminator.if_true]) == 1
+    assert len(preds[terminator.if_false]) == 1
+
+
+def test_while_structure():
+    module = lower("""
+void main() {
+  int i = 0;
+  while (i < 10) { i = i + 1; }
+  print(i);
+}
+""")
+    function = main_fn(module)
+    preds = function.predecessors()
+    cond_label = next(b.label for b in function.blocks
+                      if isinstance(b.terminator, ir.CondBr))
+    assert len(preds[cond_label]) == 2  # entry and latch
+
+
+def test_constant_condition_folds_to_jump():
+    module = lower("void main() { if (1 < 2) { print(1); } }")
+    function = main_fn(module)
+    assert not any(isinstance(b.terminator, ir.CondBr)
+                   for b in function.blocks)
+
+
+def test_short_circuit_condition_creates_blocks():
+    module = lower("""
+int a; int b;
+void main() {
+  if (a == 1 && b == 2) { print(1); }
+}
+""")
+    function = main_fn(module)
+    cond_count = sum(isinstance(b.terminator, ir.CondBr)
+                     for b in function.blocks)
+    assert cond_count == 2
+
+
+def test_logical_value_materialization():
+    module = lower("""
+int a; int b;
+void main() { print(a == 1 || b == 2); }
+""")
+    function = main_fn(module)
+    moves = [i for i in all_instrs(function) if isinstance(i, ir.Move)
+             and isinstance(i.src, int) and i.src in (0, 1)]
+    assert len(moves) >= 2  # the 0 and 1 arms
+
+
+def test_params_become_param_instrs():
+    module = lower("""
+int add2(int a, int b) { return a + b; }
+void main() { print(add2(1, 2)); }
+""")
+    function = module.function("add2")
+    params = [i for i in all_instrs(function) if isinstance(i, ir.Param)]
+    assert [p.index for p in params] == [0, 1]
+    assert len(function.params) == 2
+
+
+def test_global_scalar_and_array_access():
+    module = lower("""
+int g;
+int table[4];
+void main() {
+  g = table[2];
+  table[g] = 5;
+}
+""")
+    instrs = all_instrs(main_fn(module))
+    assert any(isinstance(i, ir.GlobalAddr) for i in instrs)
+    assert any(isinstance(i, ir.StoreGlobal) for i in instrs)
+    assert any(isinstance(i, ir.Load) for i in instrs)
+    assert any(isinstance(i, ir.Store) for i in instrs)
+
+
+def test_constant_index_uses_offset():
+    module = lower("""
+int table[4];
+void main() { print(table[2]); }
+""")
+    loads = [i for i in all_instrs(main_fn(module))
+             if isinstance(i, ir.Load)]
+    assert loads[0].offset == 8
+
+
+def test_local_array_gets_frame_slot():
+    module = lower("""
+void main() {
+  int buffer[6];
+  buffer[0] = 1;
+  print(buffer[0]);
+}
+""")
+    function = main_fn(module)
+    assert 0 in function.frame_slots
+    assert function.frame_slots[0] == 24
+
+
+def test_scoping_and_shadowing():
+    module = lower("""
+int x;
+void main() {
+  int x = 1;
+  { int x = 2; print(x); }
+  print(x);
+}
+""")
+    # Both prints read vregs, not the global.
+    prints = [i for i in all_instrs(main_fn(module))
+              if isinstance(i, ir.Print)]
+    assert all(isinstance(p.value, ir.VReg) for p in prints)
+
+
+def test_undefined_variable_rejected():
+    with pytest.raises(CompileError):
+        lower("void main() { print(nope); }")
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(CompileError):
+        lower("int f(int a) { return a; } void main() { print(f()); }")
+
+
+def test_redefinition_rejected():
+    with pytest.raises(CompileError):
+        lower("void main() { int a; int a; }")
+    with pytest.raises(CompileError):
+        lower("int g; int g; void main() {}")
+    with pytest.raises(CompileError):
+        lower("void f() {} void f() {} void main() {}")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(CompileError):
+        lower("void main() { break; }")
+
+
+def test_assignment_to_array_name_rejected():
+    with pytest.raises(CompileError):
+        lower("int a[3]; void main() { a = 1; }")
+
+
+def test_void_return_with_value_rejected():
+    with pytest.raises(CompileError):
+        lower("void main() { return 3; }")
+
+
+def test_every_block_terminated():
+    module = lower("""
+int x;
+void main() {
+  if (x) { print(1); } else { print(2); }
+  while (x) { x = x - 1; }
+}
+""")
+    for function in module.functions:
+        for block in function.blocks:
+            assert block.terminator is not None

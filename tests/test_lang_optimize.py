@@ -1,0 +1,171 @@
+"""Scalar optimization passes: copy propagation and static DCE."""
+
+from repro.emulator import run_program
+from repro.lang import CompilerOptions, compile_to_program
+from repro.lang.ir import (
+    BinOp,
+    Block,
+    Const,
+    IRFunction,
+    Jump,
+    Move,
+    Print,
+    Ret,
+    VReg,
+)
+from repro.lang.lower import lower_program
+from repro.lang.optimize import (
+    OptStats,
+    eliminate_dead_code,
+    optimize_module,
+    propagate_copies,
+)
+from repro.lang.parser import parse
+
+
+def _single_block(instrs, terminator=None):
+    block = Block("entry", instrs, terminator or Ret())
+    return IRFunction(name="f", blocks=[block], next_vreg=10)
+
+
+class TestCopyPropagation:
+    def test_simple_copy(self):
+        a, b, c = VReg(0), VReg(1), VReg(2)
+        function = _single_block([
+            Const(dst=a, value=5),
+            Move(dst=b, src=a),
+            BinOp(dst=c, op="+", a=b, b=b),
+        ])
+        stats = propagate_copies(function)
+        binop = function.blocks[0].instrs[2]
+        assert binop.a == a and binop.b == a
+        assert stats.copies_propagated == 2
+
+    def test_constant_copy(self):
+        a, b = VReg(0), VReg(1)
+        function = _single_block([
+            Move(dst=a, src=7),
+            BinOp(dst=b, op="*", a=a, b=a),
+        ])
+        propagate_copies(function)
+        binop = function.blocks[0].instrs[1]
+        assert binop.a == 7 and binop.b == 7
+
+    def test_redefinition_invalidates(self):
+        a, b, c = VReg(0), VReg(1), VReg(2)
+        function = _single_block([
+            Move(dst=b, src=a),
+            Const(dst=a, value=9),   # a redefined: copy b->a stale
+            BinOp(dst=c, op="+", a=b, b=b),
+        ])
+        propagate_copies(function)
+        binop = function.blocks[0].instrs[2]
+        assert binop.a == b  # not rewritten to the stale a
+
+    def test_copy_target_redefinition_invalidates(self):
+        a, b, c = VReg(0), VReg(1), VReg(2)
+        function = _single_block([
+            Move(dst=b, src=a),
+            Const(dst=b, value=3),   # b redefined: mapping dropped
+            Move(dst=c, src=b),
+        ])
+        propagate_copies(function)
+        move = function.blocks[0].instrs[2]
+        assert move.src == b
+
+    def test_terminator_operands_rewritten(self):
+        a, b = VReg(0), VReg(1)
+        function = _single_block([Move(dst=b, src=a)],
+                                 Ret(value=b))
+        propagate_copies(function)
+        assert function.blocks[0].terminator.value == a
+
+
+class TestDeadCodeElimination:
+    def test_removes_unused_computation(self):
+        a, b = VReg(0), VReg(1)
+        function = _single_block([
+            Const(dst=a, value=5),
+            BinOp(dst=b, op="+", a=a, b=1),   # never used
+            Print(value=a),
+        ])
+        stats = eliminate_dead_code(function)
+        kinds = [type(i) for i in function.blocks[0].instrs]
+        assert BinOp not in kinds
+        assert stats.instructions_removed == 1
+
+    def test_removal_cascades(self):
+        a, b, c = VReg(0), VReg(1), VReg(2)
+        function = _single_block([
+            Const(dst=a, value=5),            # only feeds dead b
+            BinOp(dst=b, op="+", a=a, b=1),   # only feeds dead c
+            BinOp(dst=c, op="*", a=b, b=b),   # never used
+        ])
+        stats = eliminate_dead_code(function)
+        assert function.blocks[0].instrs == []
+        assert stats.instructions_removed == 3
+
+    def test_keeps_cross_block_values(self):
+        a = VReg(0)
+        entry = Block("entry", [Const(dst=a, value=4)],
+                      Jump(target="next"))
+        follow = Block("next", [Print(value=a)], Ret())
+        function = IRFunction(name="f", blocks=[entry, follow],
+                              next_vreg=1)
+        eliminate_dead_code(function)
+        assert len(entry.instrs) == 1
+
+    def test_keeps_side_effects(self):
+        a = VReg(0)
+        function = _single_block([
+            Const(dst=a, value=5),
+            Print(value=a),
+        ])
+        eliminate_dead_code(function)
+        assert len(function.blocks[0].instrs) == 2
+
+
+def test_module_pipeline_counts():
+    module = lower_program(parse("""
+int g;
+void main() {
+  int unused = g * 99;
+  int x = g;
+  print(x + x);
+}
+"""))
+    stats = optimize_module(module)
+    assert stats.instructions_removed >= 1
+    assert stats.copies_propagated >= 1
+
+
+def test_scalar_opt_preserves_semantics(mini_c_source):
+    plain = compile_to_program(mini_c_source, CompilerOptions())
+    optimized = compile_to_program(
+        mini_c_source, CompilerOptions(scalar_opt=True))
+    machine_a, _ = run_program(plain)
+    machine_b, _ = run_program(optimized)
+    assert machine_a.output == machine_b.output
+    assert len(optimized.instructions) <= len(plain.instructions)
+
+
+def test_scalar_opt_with_hoisting_preserves_semantics():
+    source = """
+int n = 20;
+void main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int t = i * 3;
+    int waste = t + 100;
+    if (i % 4 == 0) { acc = acc + t; } else { acc = acc - 1; }
+  }
+  print(acc);
+}
+"""
+    plain = compile_to_program(source, CompilerOptions(opt_level=0))
+    full = compile_to_program(
+        source, CompilerOptions(opt_level=2, scalar_opt=True))
+    machine_a, _ = run_program(plain)
+    machine_b, _ = run_program(full)
+    assert machine_a.output == machine_b.output

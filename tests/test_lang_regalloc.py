@@ -1,0 +1,115 @@
+"""Linear-scan register allocation invariants."""
+
+from repro.lang.ir import Call
+from repro.lang.lower import lower_program
+from repro.lang.parser import parse
+from repro.lang.regalloc import (
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    allocate_registers,
+    _build_intervals,
+)
+
+BUSY = """
+int f(int a, int b) {
+  int c = a + b;
+  int d = a - b;
+  int e = c * d;
+  int g = f2(e);
+  return c + d + e + g + a + b;
+}
+int f2(int x) { return x + 1; }
+void main() { print(f(3, 4)); }
+"""
+
+
+def _allocate(source, name):
+    module = lower_program(parse(source))
+    function = module.function(name)
+    return function, allocate_registers(function)
+
+
+def test_every_vreg_gets_a_location():
+    function, allocation = _allocate(BUSY, "f")
+    for block in function.blocks:
+        instrs = list(block.instrs)
+        if block.terminator:
+            instrs.append(block.terminator)
+        for instr in instrs:
+            for vreg in list(instr.defs()) + list(instr.uses()):
+                location = allocation.location(vreg)
+                assert location.register or location.is_spilled
+
+
+def test_no_overlapping_interval_shares_register():
+    function, allocation = _allocate(BUSY, "f")
+    intervals, _ = _build_intervals(function)
+    by_vreg = {interval.vreg: interval for interval in intervals}
+    assigned = [(vreg, location.register)
+                for vreg, location in allocation.locations.items()
+                if location.register]
+    for i, (vreg_a, reg_a) in enumerate(assigned):
+        for vreg_b, reg_b in assigned[i + 1:]:
+            if reg_a != reg_b:
+                continue
+            a, b = by_vreg[vreg_a], by_vreg[vreg_b]
+            # Strict overlap (shared endpoints are allowed only when
+            # one interval ends exactly where the other starts would
+            # still be unsafe, so require disjoint ranges).
+            assert a.end < b.start or b.end < a.start
+
+
+def test_call_crossing_values_use_callee_saved_or_spill():
+    function, allocation = _allocate(BUSY, "f")
+    intervals, has_calls = _build_intervals(function)
+    assert has_calls
+    for interval in intervals:
+        if not interval.crosses_call:
+            continue
+        location = allocation.location(interval.vreg)
+        if location.register:
+            assert location.register in CALLEE_SAVED
+
+
+def test_used_callee_saved_reported():
+    function, allocation = _allocate(BUSY, "f")
+    assert allocation.used_callee_saved
+    for register in allocation.used_callee_saved:
+        assert register in CALLEE_SAVED
+
+
+def test_leaf_function_avoids_callee_saved():
+    source = """
+int leaf(int a) {
+  int b = a * 2;
+  int c = b + 1;
+  return b + c;
+}
+void main() { print(leaf(1)); }
+"""
+    function, allocation = _allocate(source, "leaf")
+    assert not allocation.has_calls
+    assert allocation.used_callee_saved == []
+    for location in allocation.locations.values():
+        if location.register:
+            assert location.register in CALLER_SAVED
+
+
+def test_spilling_under_pressure():
+    # 24 simultaneously live values cannot fit 18 allocatable registers.
+    decls = "\n".join("  int v%d = %d;" % (i, i) for i in range(24))
+    uses = " + ".join("v%d" % i for i in range(24))
+    source = "void main() {\n%s\n  print(%s);\n}" % (decls, uses)
+    function, allocation = _allocate(source, "main")
+    assert allocation.n_spill_slots > 0
+
+
+def test_spilled_program_still_correct():
+    from repro.emulator import run_program
+    from repro.lang import compile_to_program
+
+    decls = "\n".join("  int v%d = %d;" % (i, i) for i in range(24))
+    uses = " + ".join("v%d" % i for i in range(24))
+    source = "void main() {\n%s\n  print(%s);\n}" % (decls, uses)
+    machine, _ = run_program(compile_to_program(source))
+    assert machine.output == [sum(range(24))]

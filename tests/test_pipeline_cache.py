@@ -1,0 +1,75 @@
+"""Cache model: LRU, hierarchy, latency composition."""
+
+import pytest
+
+from repro.pipeline.cache import Cache, build_hierarchy
+from repro.pipeline.config import MachineConfig
+
+
+def test_miss_then_hit():
+    cache = Cache("L1", sets=4, ways=2, line_size=16, hit_latency=2,
+                  parent_latency=50)
+    assert cache.access(0x100) == 52  # compulsory miss
+    assert cache.access(0x100) == 2   # hit
+    assert cache.access(0x104) == 2   # same line
+    assert cache.stats.accesses == 3
+    assert cache.stats.misses == 1
+
+
+def test_lru_eviction():
+    cache = Cache("L1", sets=1, ways=2, line_size=16, hit_latency=1,
+                  parent_latency=10)
+    cache.access(0x000)
+    cache.access(0x100)
+    cache.access(0x000)   # touch: 0x100 is now LRU
+    cache.access(0x200)   # evicts 0x100
+    assert cache.access(0x000) == 1    # still resident
+    assert cache.access(0x100) == 11   # evicted
+
+
+def test_sets_partition_addresses():
+    cache = Cache("L1", sets=4, ways=1, line_size=16, hit_latency=1,
+                  parent_latency=10)
+    # Same set, different tags conflict; different sets do not.
+    cache.access(0x00)
+    cache.access(0x40)  # same set 0, evicts
+    assert cache.access(0x00) == 11
+    cache.access(0x10)  # set 1
+    assert cache.access(0x10) == 1
+
+
+def test_hierarchy_latencies():
+    l2 = Cache("L2", sets=16, ways=4, line_size=32, hit_latency=10,
+               parent_latency=100)
+    l1 = Cache("L1", sets=4, ways=2, line_size=32, hit_latency=2,
+               parent=l2)
+    assert l1.access(0x1000) == 2 + 10 + 100  # misses both
+    assert l1.access(0x1000) == 2
+    # Evict from tiny L1 (8 blocks into one 2-way set) while the
+    # blocks spread across L2 sets and stay resident there.
+    for index in range(8):
+        l1.access(0x1000 + index * 128)
+    assert l1.access(0x1000) == 2 + 10
+
+
+def test_build_hierarchy():
+    l1 = build_hierarchy(MachineConfig())
+    assert l1.name == "L1D"
+    assert l1.parent.name == "L2"
+    assert l1.parent.parent is None
+    assert l1.parent.parent_latency == MachineConfig().memory_latency
+
+
+def test_power_of_two_validation():
+    with pytest.raises(ValueError):
+        Cache("bad", sets=3, ways=1, line_size=16, hit_latency=1)
+    with pytest.raises(ValueError):
+        Cache("bad", sets=4, ways=1, line_size=24, hit_latency=1)
+
+
+def test_miss_rate():
+    cache = Cache("L1", sets=4, ways=1, line_size=16, hit_latency=1,
+                  parent_latency=10)
+    cache.access(0)
+    cache.access(0)
+    assert cache.stats.miss_rate == 0.5

@@ -1,0 +1,52 @@
+"""Machine configuration presets."""
+
+from dataclasses import FrozenInstanceError
+
+import pytest
+
+from repro.pipeline import contended_config, default_config
+
+
+def test_default_is_well_provisioned():
+    config = default_config()
+    assert config.phys_regs >= 128
+    assert config.iq_size >= 32
+    assert not config.eliminate
+
+
+def test_contended_is_starved():
+    default = default_config()
+    contended = contended_config()
+    assert contended.phys_regs < default.phys_regs
+    assert contended.iq_size < default.iq_size
+    assert contended.mem_ports < default.mem_ports
+    assert contended.rf_read_ports < default.rf_read_ports
+    assert contended.name == "contended"
+
+
+def test_overrides():
+    config = default_config(eliminate=True, rob_size=64)
+    assert config.eliminate
+    assert config.rob_size == 64
+    config = contended_config(phys_regs=40)
+    assert config.phys_regs == 40
+    assert config.iq_size == 16  # preset value retained
+
+
+def test_config_is_immutable():
+    config = default_config()
+    with pytest.raises(FrozenInstanceError):
+        config.rob_size = 1
+
+
+def test_dead_predictor_budget():
+    from repro.predictors import PathDeadPredictor
+
+    predictor_config = default_config().dead_predictor
+    predictor = PathDeadPredictor(
+        entries=predictor_config.entries,
+        tag_bits=predictor_config.tag_bits,
+        path_bits=predictor_config.path_bits,
+        conf_bits=predictor_config.conf_bits,
+        threshold=predictor_config.threshold)
+    assert predictor.storage_kb() < 5.0  # the paper's budget

@@ -1,0 +1,27 @@
+"""Pipeline statistics container."""
+
+from repro.pipeline import PipelineStats
+
+
+def test_ipc():
+    stats = PipelineStats(cycles=100, committed=250)
+    assert stats.ipc == 2.5
+    assert PipelineStats().ipc == 0.0
+
+
+def test_summary_mentions_key_counters():
+    stats = PipelineStats(cycles=10, committed=20, preg_allocs=5,
+                          rf_reads=7, eliminated=2, recoveries=1)
+    text = stats.summary()
+    for token in ("cycles=10", "ipc=2.000", "allocs=5", "elim=2",
+                  "recov=1"):
+        assert token in text
+
+
+def test_defaults_zero():
+    stats = PipelineStats()
+    assert stats.committed == 0
+    assert stats.eliminated == 0
+    assert stats.replayed == 0
+    assert stats.flush_recoveries == 0
+    assert stats.rename_stalls_preg == 0

@@ -1,0 +1,94 @@
+"""Branch predictors and the return-address stack."""
+
+import pytest
+
+from repro.predictors import (
+    BimodalBranchPredictor,
+    GshareBranchPredictor,
+    ReturnAddressStack,
+)
+
+
+class TestBimodal:
+    def test_learns_a_bias(self):
+        predictor = BimodalBranchPredictor(entries=64)
+        for _ in range(4):
+            predictor.predict_and_update(0x40, True)
+        assert predictor.predict(0x40)
+        for _ in range(4):
+            predictor.predict_and_update(0x40, False)
+        assert not predictor.predict(0x40)
+
+    def test_counters_saturate(self):
+        predictor = BimodalBranchPredictor(entries=64)
+        for _ in range(100):
+            predictor.update(0x40, True)
+        # One not-taken must not flip a saturated counter.
+        predictor.update(0x40, False)
+        assert predictor.predict(0x40)
+
+    def test_accuracy_on_biased_stream(self):
+        predictor = BimodalBranchPredictor(entries=64)
+        for index in range(1000):
+            predictor.predict_and_update(0x10, index % 10 != 0)
+        assert predictor.stats.accuracy > 0.85
+
+    def test_entries_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            BimodalBranchPredictor(entries=100)
+
+    def test_storage(self):
+        assert BimodalBranchPredictor(entries=2048).storage_bits() == 4096
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        """Bimodal cannot predict TNTN...; gshare history can."""
+        gshare = GshareBranchPredictor(entries=256, history_bits=4)
+        bimodal = BimodalBranchPredictor(entries=256)
+        for index in range(400):
+            outcome = index % 2 == 0
+            gshare.predict_and_update(0x20, outcome)
+            bimodal.predict_and_update(0x20, outcome)
+        assert gshare.stats.accuracy > 0.9
+        assert bimodal.stats.accuracy < 0.7
+
+    def test_history_updates(self):
+        gshare = GshareBranchPredictor(entries=256, history_bits=4)
+        gshare.update(0, True)
+        gshare.update(0, True)
+        gshare.update(0, False)
+        assert gshare.history == 0b110
+
+    def test_history_masked(self):
+        gshare = GshareBranchPredictor(entries=256, history_bits=3)
+        for _ in range(10):
+            gshare.update(0, True)
+        assert gshare.history == 0b111
+
+    def test_storage(self):
+        gshare = GshareBranchPredictor(entries=4096, history_bits=12)
+        assert gshare.storage_bits() == 2 * 4096 + 12
+
+
+class TestReturnAddressStack:
+    def test_matched_calls_and_returns(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(100)
+        ras.push(200)
+        assert ras.predict_return(200)
+        assert ras.predict_return(100)
+        assert ras.stats.accuracy == 1.0
+
+    def test_underflow_mispredicts(self):
+        ras = ReturnAddressStack(depth=4)
+        assert not ras.predict_return(100)
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.predict_return(3)
+        assert ras.predict_return(2)
+        assert not ras.predict_return(1)  # evicted

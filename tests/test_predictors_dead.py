@@ -1,0 +1,219 @@
+"""Dead-instruction predictor designs: training policy, stats, storage."""
+
+import pytest
+
+from repro.analysis import analyze_deadness
+from repro.emulator import run_program
+from repro.isa import assemble
+from repro.predictors import (
+    BimodalDeadPredictor,
+    DeadPredictionStats,
+    OracleDeadPredictor,
+    PathDeadPredictor,
+    compute_paths,
+    evaluate_predictor,
+)
+from repro.predictors.dead.table import SignatureDeadPredictor
+
+PC = 0x100
+
+
+class TestPathPredictor:
+    def test_needs_threshold_dead_observations(self):
+        predictor = PathDeadPredictor(threshold=2)
+        assert not predictor.predict(PC, 5, 0)
+        predictor.train(PC, True, 5, 0)
+        assert not predictor.predict(PC, 5, 0)
+        predictor.train(PC, True, 5, 0)
+        assert predictor.predict(PC, 5, 0)
+
+    def test_paths_learn_independently(self):
+        predictor = PathDeadPredictor(threshold=2)
+        for _ in range(3):
+            predictor.train(PC, True, 5, 0)
+        assert predictor.predict(PC, 5, 0)
+        assert not predictor.predict(PC, 2, 0)  # other path untrained
+
+    def test_live_outcome_clears_confidence(self):
+        predictor = PathDeadPredictor(threshold=2)
+        for _ in range(3):
+            predictor.train(PC, True, 5, 0)
+        predictor.train(PC, False, 5, 0)
+        assert not predictor.predict(PC, 5, 0)
+
+    def test_live_on_other_path_does_not_clear(self):
+        predictor = PathDeadPredictor(threshold=2)
+        for _ in range(3):
+            predictor.train(PC, True, 5, 0)
+        predictor.train(PC, False, 2, 0)
+        assert predictor.predict(PC, 5, 0)
+
+    def test_no_allocation_on_live(self):
+        predictor = PathDeadPredictor()
+        predictor.train(PC, False, 5, 0)
+        assert all(tag == -1 for tag in predictor.tags)
+
+    def test_confidence_saturates(self):
+        predictor = PathDeadPredictor(conf_bits=2, threshold=2)
+        for _ in range(100):
+            predictor.train(PC, True, 5, 0)
+        slot, _ = predictor._slot(PC, 5)
+        assert predictor.confs[slot] == 3
+
+    def test_storage_under_5kb(self):
+        predictor = PathDeadPredictor(entries=2048, tag_bits=8,
+                                      path_bits=3, conf_bits=2)
+        assert predictor.storage_kb() < 5.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PathDeadPredictor(entries=1000)
+        with pytest.raises(ValueError):
+            PathDeadPredictor(conf_bits=1, threshold=5)
+        with pytest.raises(ValueError):
+            PathDeadPredictor(entries=4, path_bits=8)
+
+
+class TestBimodalPredictor:
+    def test_cannot_separate_paths(self):
+        predictor = BimodalDeadPredictor(threshold=2)
+        for _ in range(3):
+            predictor.train(PC, True, 5, 0)
+        # Predicts dead regardless of the future path.
+        assert predictor.predict(PC, 5, 0)
+        assert predictor.predict(PC, 2, 0)
+
+    def test_oscillating_static_never_covered(self):
+        """The paper's argument: a partially dead static defeats a
+        PC-only predictor."""
+        predictor = BimodalDeadPredictor(threshold=2)
+        hits = 0
+        for index in range(100):
+            dead = index % 2 == 0
+            if predictor.predict(PC, 0, index) and dead:
+                hits += 1
+            predictor.train(PC, dead, 0, index)
+        assert hits == 0
+
+
+class TestOracle:
+    def test_reflects_labels(self):
+        oracle = OracleDeadPredictor([True, False, True])
+        assert oracle.predict(PC, 0, 0)
+        assert not oracle.predict(PC, 0, 1)
+        assert oracle.storage_bits() == 0
+
+
+class TestStats:
+    def test_metrics(self):
+        stats = DeadPredictionStats()
+        stats.record(True, True)    # hit
+        stats.record(True, False)   # false positive
+        stats.record(False, True)   # miss
+        stats.record(False, False)  # true negative
+        assert stats.accuracy == 0.5
+        assert stats.coverage == 0.5
+        assert stats.eligible == 4
+        assert "accuracy" in stats.summary()
+
+    def test_degenerate_metrics(self):
+        stats = DeadPredictionStats()
+        assert stats.accuracy == 1.0  # no predictions, none wrong
+        assert stats.coverage == 0.0
+
+
+class TestEvaluation:
+    def _analysis(self):
+        program = assemble("""
+    li   t0, 60
+loop:
+    li   t1, 3          # fully dead in the loop
+    li   t1, 4
+    addi t0, t0, -1
+    bnez t0, loop
+    move a0, t1
+    li   v0, 1
+    syscall
+    halt
+""")
+        _, trace = run_program(program)
+        return analyze_deadness(trace)
+
+    def test_path_predictor_covers_loop_deadness(self):
+        analysis = self._analysis()
+        paths = compute_paths(analysis.trace, analysis.statics,
+                              path_bits=2)
+        stats = evaluate_predictor(
+            analysis, PathDeadPredictor(path_bits=2), paths)
+        assert stats.dead > 0
+        assert stats.coverage > 0.5
+        assert stats.accuracy > 0.8
+
+    def test_oracle_is_perfect(self):
+        analysis = self._analysis()
+        stats = evaluate_predictor(
+            analysis, OracleDeadPredictor(analysis.dead))
+        assert stats.accuracy == 1.0
+        assert stats.coverage == 1.0
+
+    def test_accumulation_across_workloads(self):
+        analysis = self._analysis()
+        stats = DeadPredictionStats()
+        evaluate_predictor(analysis, PathDeadPredictor(), stats=stats)
+        first = stats.eligible
+        evaluate_predictor(analysis, PathDeadPredictor(), stats=stats)
+        assert stats.eligible == 2 * first
+
+    def test_signature_predictor_runs(self):
+        analysis = self._analysis()
+        stats = evaluate_predictor(analysis, SignatureDeadPredictor())
+        assert stats.eligible > 0
+
+
+class TestHistoryPredictor:
+    def test_history_register_shifts(self):
+        from repro.predictors import HistoryDeadPredictor
+
+        predictor = HistoryDeadPredictor(history_bits=3)
+        predictor.note_branch(True)
+        predictor.note_branch(False)
+        predictor.note_branch(True)
+        assert predictor.history == 0b101
+        for _ in range(5):
+            predictor.note_branch(True)
+        assert predictor.history == 0b111
+
+    def test_contexts_learn_independently(self):
+        from repro.predictors import HistoryDeadPredictor
+
+        predictor = HistoryDeadPredictor(threshold=2)
+        predictor.note_branch(True)
+        for _ in range(3):
+            predictor.train(PC, True, 0, 0)
+        assert predictor.predict(PC, 0, 0)
+        predictor.note_branch(False)  # different context now
+        assert not predictor.predict(PC, 0, 0)
+
+    def test_future_beats_past_on_alternating_deadness(self):
+        """An instruction dead exactly when the *next* branch is taken,
+        with an uninformative past: the future-path design learns it,
+        the past-history design cannot."""
+        from repro.predictors import HistoryDeadPredictor
+
+        path_predictor = PathDeadPredictor(threshold=2)
+        history_predictor = HistoryDeadPredictor(threshold=2)
+        path_hits = history_hits = 0
+        for index in range(200):
+            future_taken = index % 2 == 0
+            dead = future_taken
+            path = int(future_taken)
+            if path_predictor.predict(PC, path, index) and dead:
+                path_hits += 1
+            if history_predictor.predict(PC, path, index) and dead:
+                history_hits += 1
+            path_predictor.train(PC, dead, path, index)
+            history_predictor.train(PC, dead, path, index)
+            # Past history is constant (uninformative).
+            history_predictor.note_branch(True)
+        assert path_hits > 80
+        assert history_hits == 0

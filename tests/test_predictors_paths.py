@@ -1,0 +1,85 @@
+"""Future-path signature computation."""
+
+from repro.analysis import StaticTable
+from repro.emulator import run_program
+from repro.isa import assemble
+from repro.predictors import compute_paths
+
+
+def _trace(source):
+    program = assemble(source)
+    _, trace = run_program(program)
+    return trace, StaticTable(program)
+
+
+def test_actual_path_bits_match_outcomes():
+    # Three branches with known outcomes: NT, T, NT pattern per pass.
+    trace, statics = _trace("""
+    li t0, 2
+loop:
+    beq  t0, zero, exit     # not taken, not taken, taken
+    addi t0, t0, -1
+    j loop
+exit:
+    halt
+""")
+    paths = compute_paths(trace, statics, path_bits=2)
+    # Dynamic stream: li, beq(NT), addi, j, beq(NT), addi, j, beq(T), halt
+    # For the first instruction (li), the next two branch outcomes are
+    # NT, NT -> bits 00.
+    assert paths.actual[0] == 0b00
+    # For the first addi (index 2), next branches are NT, T -> 0b10.
+    assert paths.actual[2] == 0b10
+    # For the second addi (index 5), only the taken exit remains -> 0b01.
+    assert paths.actual[5] == 0b01
+
+
+def test_zero_padding_at_end():
+    trace, statics = _trace("""
+    li t0, 1
+    beq t0, zero, skip
+skip:
+    li t1, 2
+    halt
+""")
+    paths = compute_paths(trace, statics, path_bits=4)
+    # After the last branch there are no more branches: signature 0.
+    assert paths.actual[-1] == 0
+    assert paths.predicted[-1] == 0
+
+
+def test_signature_excludes_own_branch():
+    trace, statics = _trace("""
+    li t0, 0
+    beq t0, zero, target    # taken
+target:
+    halt
+""")
+    paths = compute_paths(trace, statics, path_bits=1)
+    # The branch itself looks past itself: no further branches -> 0.
+    assert paths.actual[1] == 0
+    # The li before it sees the branch outcome (taken) in bit 0.
+    assert paths.actual[0] == 1
+
+
+def test_predicted_path_uses_branch_predictor():
+    # A strongly biased loop branch becomes predictable; by the last
+    # iterations the predicted and actual signatures agree.
+    trace, statics = _trace("""
+    li t0, 50
+loop:
+    addi t0, t0, -1
+    bne t0, zero, loop
+    halt
+""")
+    paths = compute_paths(trace, statics, path_bits=1)
+    tail = range(len(trace) - 20, len(trace) - 4)
+    agree = sum(paths.predicted[i] == paths.actual[i] for i in tail)
+    assert agree >= len(list(tail)) - 1
+    assert paths.branch_stats.lookups == 50
+
+
+def test_mask_property():
+    trace, statics = _trace("x: nop\nhalt")
+    paths = compute_paths(trace, statics, path_bits=3)
+    assert paths.mask == 0b111

@@ -1,0 +1,59 @@
+"""The idealized profile-based baseline."""
+
+from repro.analysis import analyze_deadness
+from repro.emulator import run_program
+from repro.isa import assemble
+from repro.predictors import (
+    ProfileDeadPredictor,
+    evaluate_predictor,
+)
+
+
+def _analysis():
+    program = assemble("""
+    li   t0, 30
+loop:
+    li   t1, 3          # fully dead inside the loop
+    add  t2, t0, t0     # partially dead: live on the exit iteration
+    li   t1, 4
+    addi t0, t0, -1
+    bnez t0, loop
+    move a0, t2
+    li   v0, 1
+    syscall
+    halt
+""")
+    _, trace = run_program(program)
+    return analyze_deadness(trace)
+
+
+def test_profile_finds_only_fully_dead_statics():
+    analysis = _analysis()
+    predictor = ProfileDeadPredictor(analysis)
+    # 'li t1, 3' at pc 4 is dead on every instance -> profiled dead.
+    assert 4 in predictor.always_dead
+    # 'add t2' is live on its last instance -> untouchable by profile.
+    assert 8 not in predictor.always_dead
+
+
+def test_profile_perfectly_accurate_low_coverage():
+    analysis = _analysis()
+    stats = evaluate_predictor(analysis, ProfileDeadPredictor(analysis))
+    assert stats.accuracy == 1.0
+    assert stats.coverage < 0.7  # misses every partially dead instance
+
+
+def test_threshold_loosening_raises_coverage_risks_accuracy():
+    analysis = _analysis()
+    strict = ProfileDeadPredictor(analysis, threshold=0.999)
+    loose = ProfileDeadPredictor(analysis, threshold=0.9)
+    assert strict.always_dead <= loose.always_dead
+    loose_stats = evaluate_predictor(analysis, loose)
+    assert loose_stats.coverage >= evaluate_predictor(
+        analysis, strict).coverage
+    assert loose_stats.accuracy < 1.0  # now kills some live instances
+
+
+def test_no_hardware_state():
+    analysis = _analysis()
+    assert ProfileDeadPredictor(analysis).storage_bits() == 0

@@ -1,0 +1,70 @@
+"""Cross-layer round-trip properties.
+
+1. Any program the compiler emits survives
+   assembly -> disassembly -> reassembly and the .rpo image format
+   unchanged (field-for-field).
+2. Arbitrary byte/text garbage never crashes the front ends with
+   anything but their own diagnostic exception types.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import AssemblyError, assemble, disassemble
+from repro.isa.binary import BinaryFormatError, load_program, save_program
+from repro.lang import CompileError, compile_source
+from repro.lang.parser import parse
+from repro.workloads import all_workloads
+
+
+def _fields(instruction):
+    return (instruction.opcode, instruction.rd, instruction.rs1,
+            instruction.rs2, instruction.imm)
+
+
+def test_every_workload_binary_survives_text_roundtrip():
+    for workload in all_workloads():
+        assembly = compile_source(workload.source(0.2))
+        program = assemble(assembly)
+        relisted = "\n".join(disassemble(instruction)
+                             for instruction in program.instructions)
+        reassembled = assemble(relisted)
+        assert list(map(_fields, reassembled.instructions)) == \
+            list(map(_fields, program.instructions))
+
+
+def test_every_workload_survives_image_roundtrip():
+    for workload in all_workloads():
+        program = workload.compile(scale=0.2)
+        loaded = load_program(save_program(program))
+        assert list(map(_fields, loaded.instructions)) == \
+            list(map(_fields, program.instructions))
+        assert loaded.data == program.data
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=200))
+def test_parser_never_crashes(text):
+    try:
+        parse(text)
+    except CompileError:
+        pass  # the only acceptable failure mode
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(
+    alphabet=st.sampled_from("abcdefgt0123456789 ,().:#@-\n"),
+    max_size=120))
+def test_assembler_never_crashes(text):
+    try:
+        assemble(text)
+    except AssemblyError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=200))
+def test_image_loader_never_crashes(blob):
+    try:
+        load_program(blob)
+    except BinaryFormatError:
+        pass

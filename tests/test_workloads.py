@@ -1,0 +1,89 @@
+"""The benchmark suite: correctness, determinism, scaling, diversity."""
+
+import pytest
+
+from repro.analysis import analyze_deadness
+from repro.workloads import all_workloads, get_workload, workload_names
+from repro.workloads.generate import Xorshift32, array_literal
+
+
+def test_registry():
+    names = workload_names()
+    assert len(names) == 10
+    assert len(set(names)) == 10
+    for name in names:
+        assert get_workload(name).name == name
+
+
+def test_unknown_workload():
+    with pytest.raises(KeyError):
+        get_workload("nonesuch")
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_output_matches_reference(name):
+    workload = get_workload(name)
+    machine, trace = workload.run(scale=0.4)
+    # Workload.run already asserts output == reference; check substance.
+    assert machine.output
+    assert len(trace) > 500
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_deterministic_source(name):
+    workload = get_workload(name)
+    assert workload.source(1.0) == workload.source(1.0)
+    assert workload.reference(1.0) == workload.reference(1.0)
+
+
+def test_scale_changes_work():
+    workload = get_workload("sort")
+    _, small = workload.run(scale=0.2)
+    _, large = workload.run(scale=0.6)
+    assert len(large) > len(small)
+
+
+def test_wrong_reference_detected():
+    workload = get_workload("crc")
+    broken = type(workload)(name=workload.name,
+                            description=workload.description,
+                            source=workload.source,
+                            reference=lambda scale: [0])
+    with pytest.raises(AssertionError):
+        broken.run(scale=0.2)
+
+
+def test_suite_dead_fraction_band():
+    """The paper's headline characterization: 3-16%-ish per benchmark."""
+    fractions = []
+    for workload in all_workloads():
+        _, trace = workload.run(scale=0.5)
+        fractions.append(analyze_deadness(trace).dead_fraction)
+    assert min(fractions) > 0.02
+    assert max(fractions) < 0.20
+    assert max(fractions) / max(min(fractions), 1e-9) > 2  # real spread
+
+
+class TestXorshift:
+    def test_deterministic(self):
+        assert Xorshift32(7).ints(10, 100) == Xorshift32(7).ints(10, 100)
+
+    def test_zero_seed_handled(self):
+        rng = Xorshift32(0)
+        assert rng.next() != 0
+
+    def test_below_bound(self):
+        rng = Xorshift32(3)
+        for _ in range(200):
+            assert 0 <= rng.below(17) < 17
+
+    def test_permutation(self):
+        rng = Xorshift32(5)
+        permutation = rng.permutation(50)
+        assert sorted(permutation) == list(range(50))
+        assert permutation != list(range(50))
+
+
+def test_array_literal():
+    text = array_literal("xs", [1, -2, 3])
+    assert text == "int xs[3] = {1, -2, 3};"
