@@ -5,6 +5,15 @@ Each file in this directory regenerates one figure/table of the paper
 benchmark fixture times the full experiment (one round — these are
 end-to-end simulations, not microbenchmarks) and the rendered table is
 printed so ``-s`` shows exactly the rows the paper reports.
+
+Experiments execute through the harness engine
+(:mod:`repro.harness.engine`), so the on-disk stage cache applies here
+too: a second benchmark session reports *hot-cache* times.  Pass
+``--harness-no-cache`` for cold numbers, and ``--harness-jobs N`` to
+fan independent cells across worker processes (the engine's
+``REPRO_JOBS`` / ``REPRO_CACHE`` environment variables work as well).
+Each fixture invocation prints the cache hit/miss deltas so a run's
+hot or cold character is visible in the output.
 """
 
 from __future__ import annotations
@@ -12,18 +21,55 @@ from __future__ import annotations
 import pytest
 
 from repro.harness import run_experiment
+from repro.harness.engine import (
+    EngineConfig,
+    config_from_env,
+    configure,
+    get_engine,
+)
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("harness engine")
+    group.addoption("--harness-jobs", type=int, default=None,
+                    metavar="N",
+                    help="worker processes for harness cells")
+    group.addoption("--harness-no-cache", action="store_true",
+                    help="disable the harness stage cache (cold runs)")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def harness_engine(request):
+    """Configure the process-wide engine from the pytest options."""
+    defaults = config_from_env()
+    jobs = request.config.getoption("--harness-jobs")
+    no_cache = request.config.getoption("--harness-no-cache")
+    if jobs is not None or no_cache:
+        configure(EngineConfig(
+            jobs=jobs if jobs is not None else defaults.jobs,
+            cache=defaults.cache and not no_cache,
+            cache_dir=defaults.cache_dir,
+            cell_timeout=defaults.cell_timeout))
+    return get_engine()
 
 
 @pytest.fixture
-def run_figure(benchmark):
+def run_figure(benchmark, harness_engine):
     """Run one experiment under the benchmark timer; print its table."""
 
     def runner(identifier: str, scale: float = 1.0):
+        snapshot = harness_engine.stats.snapshot()
         result = benchmark.pedantic(
             lambda: run_experiment(identifier, scale=scale),
             rounds=1, iterations=1)
+        delta, instructions = harness_engine.stats.delta_since(snapshot)
         print()
         print(result.render())
+        for stage in sorted(delta):
+            counts = delta[stage]
+            print("[engine %s: %d hits / %d misses, %.2fs]" %
+                  (stage, counts["hits"], counts["misses"],
+                   counts["seconds"]))
         return result
 
     return runner

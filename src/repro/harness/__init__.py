@@ -7,10 +7,26 @@ the raw numbers for tests and further analysis.  ``python -m
 repro.harness`` runs any subset from the command line; the files in
 ``benchmarks/`` wrap each experiment for ``pytest-benchmark``.
 
-Experiment ids (see DESIGN.md §4): F1-F8 are reconstructed figures,
-T1 the machine-configuration table, A1-A3 ablations.
+Execution is delegated to the stage-aware engine
+(:mod:`repro.harness.engine`): compile, trace, analysis, future-path,
+and timing stages are individually cached on disk (content-addressed,
+``.repro-cache/``) and independent (workload × config) cells fan out
+across a multiprocessing pool under ``--jobs N``.  Each CLI invocation
+records structured run metadata (:mod:`repro.harness.runmeta`);
+``repro-harness runs`` and ``repro-harness cache`` inspect it.  See
+docs/harness.md for the full guide.
+
+Experiment ids (see DESIGN.md §4): F1-F9 are reconstructed figures,
+T1 the machine-configuration table, A1-A6 ablations, E1-E2 extensions.
 """
 
+from repro.harness.engine import (
+    CellSpec,
+    Engine,
+    EngineConfig,
+    configure,
+    get_engine,
+)
 from repro.harness.experiments import (
     ALL_EXPERIMENTS,
     ExperimentResult,
@@ -21,9 +37,14 @@ from repro.harness.tables import Table
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "CellSpec",
+    "Engine",
+    "EngineConfig",
     "ExperimentResult",
     "SuiteRun",
     "Table",
+    "configure",
+    "get_engine",
     "run_experiment",
     "suite_runs",
 ]

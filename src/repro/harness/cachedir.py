@@ -1,0 +1,204 @@
+"""Content-addressed on-disk cache for experiment stages.
+
+Layout under the cache root (default ``.repro-cache/``)::
+
+    .repro-cache/
+        stages/<stage>/<kk>/<key>.pkl   # one artifact per entry
+        runs/run-<id>.json              # structured run metadata
+
+Keys are SHA-256 hex digests computed by :func:`stable_hash` over the
+*content* of every input that can change the artifact: source text,
+canonical config keys (``to_key()``, see ``repro.keys``), and a code
+salt.  The salt for a stage is a hash of the source files of the
+subpackages that implement it (:func:`code_salt`), so editing the
+compiler invalidates compiled artifacts, editing the emulator
+invalidates traces, and so on — no manual version bumps.
+
+Robustness contract: a cache entry is advisory.  :meth:`CacheDir.load`
+returns the sentinel :data:`MISS` on *any* failure — missing file,
+truncated pickle, unreadable directory — and callers recompute and
+re-store.  Writes are atomic (temp file + ``os.replace``), so
+concurrent pool workers can populate the same cache safely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Dict, Iterable, Tuple
+
+#: Sentinel returned by :meth:`CacheDir.load` when there is no usable
+#: entry.  Distinct from ``None`` so ``None`` is storable.
+MISS = object()
+
+#: Bump to invalidate every entry across a cache-format change.
+CACHE_SCHEMA = "1"
+
+_SEPARATOR = "\x1f"  # unit separator: cannot appear in hex keys/configs
+
+
+def stable_hash(*parts: str) -> str:
+    """SHA-256 over the parts, order-sensitive, collision-safe joined."""
+    digest = hashlib.sha256()
+    digest.update(CACHE_SCHEMA.encode("utf-8"))
+    for part in parts:
+        digest.update(_SEPARATOR.encode("utf-8"))
+        digest.update(part.encode("utf-8"))
+    return digest.hexdigest()
+
+
+_SALT_CACHE: Dict[Tuple[str, ...], str] = {}
+
+
+def code_salt(*subpackages: str) -> str:
+    """Hash of the ``.py`` sources of the named ``repro`` subpackages.
+
+    Any edit to the code implementing a stage changes its salt and
+    therefore every key derived from it — stale artifacts can never be
+    served after a code change.  Computed once per process.
+    """
+    names = tuple(sorted(subpackages))
+    cached = _SALT_CACHE.get(names)
+    if cached is not None:
+        return cached
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for name in names:
+        package_dir = os.path.join(root, *name.split("."))
+        paths = []
+        if os.path.isdir(package_dir):
+            for dirpath, _dirnames, filenames in os.walk(package_dir):
+                for filename in filenames:
+                    if filename.endswith(".py"):
+                        paths.append(os.path.join(dirpath, filename))
+        elif os.path.isfile(package_dir + ".py"):
+            paths.append(package_dir + ".py")
+        for path in sorted(paths):
+            digest.update(os.path.relpath(path, root).encode("utf-8"))
+            with open(path, "rb") as stream:
+                digest.update(stream.read())
+    salt = digest.hexdigest()
+    _SALT_CACHE[names] = salt
+    return salt
+
+
+#: Which subpackages feed each cacheable stage (the salt recipe).
+STAGE_CODE = {
+    "compile": ("lang", "isa", "keys"),
+    "trace": ("isa", "emulator", "workloads"),
+    "analysis": ("analysis",),
+    "paths": ("predictors",),
+    "timing": ("pipeline", "analysis", "keys"),
+}
+
+
+def stage_salt(stage: str) -> str:
+    """The code salt for one named stage (see :data:`STAGE_CODE`)."""
+    return code_salt(*STAGE_CODE[stage])
+
+
+class CacheDir:
+    """One on-disk cache root; see the module docstring for layout."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+
+    # -- paths --------------------------------------------------------
+
+    @property
+    def stages_root(self) -> str:
+        return os.path.join(self.root, "stages")
+
+    @property
+    def runs_root(self) -> str:
+        return os.path.join(self.root, "runs")
+
+    def entry_path(self, stage: str, key: str) -> str:
+        return os.path.join(self.stages_root, stage, key[:2],
+                            key + ".pkl")
+
+    # -- load/store ---------------------------------------------------
+
+    def load(self, stage: str, key: str) -> object:
+        """The stored artifact, or :data:`MISS` on any failure."""
+        try:
+            with open(self.entry_path(stage, key), "rb") as stream:
+                return pickle.load(stream)
+        except Exception:
+            # Missing, truncated, or unreadable entries are all just
+            # misses; the caller recomputes and overwrites.
+            return MISS
+
+    def store(self, stage: str, key: str, value: object) -> None:
+        """Atomically persist one artifact (best-effort: IO errors on
+        store are swallowed — the cache is an accelerator, not a
+        correctness dependency)."""
+        path = self.entry_path(stage, key)
+        try:
+            directory = os.path.dirname(path)
+            os.makedirs(directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(dir=directory,
+                                             suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as stream:
+                    pickle.dump(value, stream,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+    # -- maintenance --------------------------------------------------
+
+    def iter_entries(self) -> Iterable[Tuple[str, str, int]]:
+        """Yield ``(stage, path, size_bytes)`` for every entry."""
+        stages_root = self.stages_root
+        if not os.path.isdir(stages_root):
+            return
+        for stage in sorted(os.listdir(stages_root)):
+            stage_dir = os.path.join(stages_root, stage)
+            for dirpath, _dirnames, filenames in os.walk(stage_dir):
+                for filename in sorted(filenames):
+                    if not filename.endswith(".pkl"):
+                        continue
+                    path = os.path.join(dirpath, filename)
+                    try:
+                        size = os.path.getsize(path)
+                    except OSError:
+                        continue
+                    yield stage, path, size
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-stage ``{"entries": n, "bytes": b}`` plus a total."""
+        per_stage: Dict[str, Dict[str, int]] = {}
+        for stage, _path, size in self.iter_entries():
+            bucket = per_stage.setdefault(stage,
+                                          {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        total = {"entries": sum(b["entries"] for b in per_stage.values()),
+                 "bytes": sum(b["bytes"] for b in per_stage.values())}
+        per_stage["total"] = total
+        return per_stage
+
+    def clear(self, runs: bool = False) -> int:
+        """Delete all stage entries (and run metadata when *runs*);
+        returns the number of files removed."""
+        import shutil
+
+        removed = sum(1 for _ in self.iter_entries())
+        shutil.rmtree(self.stages_root, ignore_errors=True)
+        if runs and os.path.isdir(self.runs_root):
+            removed += len([name for name in os.listdir(self.runs_root)
+                            if name.endswith(".json")])
+            shutil.rmtree(self.runs_root, ignore_errors=True)
+        return removed

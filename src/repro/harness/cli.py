@@ -1,10 +1,22 @@
-"""Command-line entry point: ``python -m repro.harness [ids...]``.
+"""Command-line entry point: ``python -m repro.harness`` / ``repro-harness``.
 
 Examples::
 
-    python -m repro.harness              # run everything
-    python -m repro.harness F1 F5 F8     # selected experiments
+    python -m repro.harness                  # run everything
+    python -m repro.harness F1 F5 F8         # selected experiments
     python -m repro.harness F8 --scale 0.5
+    python -m repro.harness F7 F8 --jobs 4   # parallel cells
+    python -m repro.harness F1 --no-cache    # force recomputation
+    python -m repro.harness runs             # summarize recorded runs
+    python -m repro.harness runs --last 1 --json
+    python -m repro.harness cache stats      # on-disk cache usage
+    python -m repro.harness cache clear      # drop stage artifacts
+
+Experiment runs execute through :mod:`repro.harness.engine` (staged
+on-disk cache + optional multiprocessing) and each invocation records
+a structured metadata document (wall time per experiment, per-stage
+cache hits/misses, instruction counts, host info) under
+``<cache-dir>/runs/`` — see :mod:`repro.harness.runmeta`.
 """
 
 from __future__ import annotations
@@ -14,13 +26,42 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.harness.engine import EngineConfig, config_from_env, configure
 from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    defaults = config_from_env()
+    parser.add_argument("--jobs", type=int, default=defaults.jobs,
+                        metavar="N",
+                        help="worker processes for independent cells "
+                             "(default %d; 1 = serial)" % defaults.jobs)
+    parser.add_argument("--no-cache", action="store_true",
+                        default=not defaults.cache,
+                        help="disable the on-disk stage cache")
+    parser.add_argument("--cache-dir", default=defaults.cache_dir,
+                        metavar="DIR",
+                        help="cache root (default %s)"
+                             % defaults.cache_dir)
+    parser.add_argument("--cell-timeout", type=float,
+                        default=defaults.cell_timeout, metavar="SEC",
+                        help="per-cell timeout in parallel mode "
+                             "(default %g)" % defaults.cell_timeout)
+
+
+def _engine_config(args: argparse.Namespace) -> EngineConfig:
+    return EngineConfig(jobs=max(args.jobs, 1),
+                        cache=not args.no_cache,
+                        cache_dir=args.cache_dir,
+                        cell_timeout=args.cell_timeout)
+
+
+def _experiments_main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-harness",
-        description="Regenerate the paper's figures and tables.")
+        description="Regenerate the paper's figures and tables "
+                    "(subcommands: 'runs' lists recorded run metadata, "
+                    "'cache' manages the stage cache).")
     parser.add_argument("experiments", nargs="*",
                         metavar="ID",
                         help="experiment ids (%s); default: all"
@@ -30,6 +71,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--json", metavar="PATH",
                         help="also dump every experiment's raw data to "
                              "a JSON file")
+    parser.add_argument("--no-meta", action="store_true",
+                        help="do not record run metadata under "
+                             "<cache-dir>/runs/")
+    _add_engine_arguments(parser)
     args = parser.parse_args(argv)
 
     ids = [identifier.upper() for identifier in args.experiments] \
@@ -39,13 +84,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         parser.error("unknown experiment ids: %s" % ", ".join(unknown))
 
+    engine = configure(_engine_config(args))
+
+    from repro.harness.runmeta import RunRecorder
+
+    recorder = RunRecorder(argv=list(argv),
+                           engine_info=engine.describe())
     dumps = {}
     for identifier in ids:
+        snapshot = engine.stats.snapshot()
         started = time.time()
         result = run_experiment(identifier, scale=args.scale)
+        wall = time.time() - started
+        stage_delta, instructions = engine.stats.delta_since(snapshot)
+        recorder.record(identifier, wall, stage_delta, instructions)
         print(result.render())
-        print("[%s finished in %.1fs]" % (identifier,
-                                          time.time() - started))
+        print("[%s finished in %.1fs%s]" % (
+            identifier, wall, _stage_note(stage_delta)))
         print()
         if args.json:
             dumps[identifier] = {
@@ -62,7 +117,99 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump({"scale": args.scale, "experiments": dumps},
                       stream, indent=2)
         print("wrote %s" % args.json)
+    if not args.no_meta:
+        from repro.harness.cachedir import CacheDir
+
+        runs_root = CacheDir(args.cache_dir).runs_root
+        try:
+            path = recorder.write(runs_root)
+        except OSError as error:
+            print("could not record run metadata: %s" % error,
+                  file=sys.stderr)
+        else:
+            print("recorded run metadata: %s" % path)
     return 0
+
+
+def _stage_note(stage_delta) -> str:
+    hits = sum(c.get("hits", 0) for c in stage_delta.values())
+    misses = sum(c.get("misses", 0) for c in stage_delta.values())
+    if hits == misses == 0:
+        return ""
+    return "; cache %d hit%s / %d miss%s" % (
+        hits, "" if hits == 1 else "s",
+        misses, "" if misses == 1 else "es")
+
+
+def _runs_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness runs",
+        description="Summarize recorded run metadata.")
+    parser.add_argument("--last", type=int, metavar="N",
+                        help="only the N most recent runs")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw documents as JSON")
+    parser.add_argument("--cache-dir",
+                        default=config_from_env().cache_dir,
+                        metavar="DIR", help="cache root")
+    args = parser.parse_args(argv)
+
+    from repro.harness.cachedir import CacheDir
+    from repro.harness.runmeta import load_runs, summarize_runs
+
+    documents = load_runs(CacheDir(args.cache_dir).runs_root)
+    if args.last is not None:
+        documents = documents[-args.last:]
+    if args.json:
+        import json
+
+        json.dump(documents, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(summarize_runs(documents))
+    return 0
+
+
+def _cache_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness cache",
+        description="Inspect or clear the on-disk stage cache.")
+    parser.add_argument("action", choices=("stats", "clear"))
+    parser.add_argument("--runs", action="store_true",
+                        help="with 'clear': also delete recorded run "
+                             "metadata")
+    parser.add_argument("--cache-dir",
+                        default=config_from_env().cache_dir,
+                        metavar="DIR", help="cache root")
+    args = parser.parse_args(argv)
+
+    from repro.harness.cachedir import CacheDir
+
+    cache = CacheDir(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        total = stats.pop("total")
+        print("cache root: %s" % cache.root)
+        for stage in sorted(stats):
+            bucket = stats[stage]
+            print("  %-10s %6d entries  %10.1f KiB" %
+                  (stage, bucket["entries"], bucket["bytes"] / 1024.0))
+        print("  %-10s %6d entries  %10.1f KiB" %
+              ("total", total["entries"], total["bytes"] / 1024.0))
+    else:
+        removed = cache.clear(runs=args.runs)
+        print("removed %d cache entr%s from %s" %
+              (removed, "y" if removed == 1 else "ies", cache.root))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "runs":
+        return _runs_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
+    return _experiments_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

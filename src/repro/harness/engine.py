@@ -1,0 +1,566 @@
+"""The experiment engine: staged, cached, parallel execution.
+
+Every experiment decomposes into the same stage graph per
+(workload × compiler-options × scale) cell::
+
+    source ──compile──> assembly ──trace──> (pcs/taken/addrs, output)
+                                     │
+                                     ├──analysis──> deadness labels
+                                     ├──paths────> future-path views
+                                     └──timing───> pipeline statistics
+
+Each arrow is a cacheable stage with a content-addressed key (see
+``repro.harness.cachedir``): the compile key hashes the generated
+source text and the canonical compiler-option key; every downstream
+key chains from its parent's key plus the salt of the code that
+implements the stage.  Identical inputs therefore always reuse the
+artifact, and *any* relevant change — source, options, seed/scale (via
+the source text), machine config, or the implementing code itself —
+recomputes exactly the invalidated suffix of the graph.
+
+Independent cells fan out across a ``multiprocessing`` pool
+(``jobs > 1``) with deterministic result ordering (input order, not
+completion order), a per-cell timeout, and retry-once-serially
+robustness; ``jobs = 1`` degrades gracefully to plain in-process
+execution with no pool at all.  Results are bit-identical between
+serial and parallel execution and between cold and hot caches: cache
+artifacts are plain ints/bools/strings whose pickle round-trip is
+exact, and every reconstruction path rebuilds the same objects the
+direct path produces.
+
+The module-level :func:`get_engine` singleton is what the harness
+(``runs.py`` / ``experiments.py`` / ``cli.py`` / benchmarks) uses;
+tests construct private :class:`Engine` instances around temporary
+cache directories.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import DeadnessAnalysis, analyze_deadness
+from repro.analysis.statics import StaticTable
+from repro.emulator import Trace, run_program
+from repro.harness.cachedir import MISS, CacheDir, stable_hash, stage_salt
+from repro.isa.assembler import assemble
+from repro.lang import CompilerOptions, compile_source
+from repro.pipeline import MachineConfig
+from repro.pipeline.core import PipelineResult, simulate
+from repro.predictors.dead.paths import PathInfo, compute_paths
+from repro.workloads import get_workload
+
+__all__ = [
+    "CellArtifact",
+    "CellSpec",
+    "Engine",
+    "EngineConfig",
+    "configure",
+    "get_engine",
+    "reset_engine",
+]
+
+#: The emulator step budget is part of the trace key: raising it can
+#: legitimately change a trace that previously hit the limit.
+MAX_STEPS = 10_000_000
+
+
+# ---------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How the engine executes: parallelism, caching, robustness."""
+
+    #: worker processes for independent cells; 1 = serial, no pool
+    jobs: int = 1
+    #: enable the on-disk stage cache
+    cache: bool = True
+    #: cache root (created on first store)
+    cache_dir: str = ".repro-cache"
+    #: per-cell wall-clock timeout in pool mode (seconds)
+    cell_timeout: float = 600.0
+    #: failed/timed-out pool cells are retried serially this many times
+    retries: int = 1
+
+
+def config_from_env() -> EngineConfig:
+    """Engine defaults, overridable through environment variables
+    (``REPRO_JOBS``, ``REPRO_CACHE=0``, ``REPRO_CACHE_DIR``,
+    ``REPRO_CELL_TIMEOUT``) so embeddings like pytest pick them up
+    without plumbing flags."""
+    return EngineConfig(
+        jobs=int(os.environ.get("REPRO_JOBS", "1")),
+        cache=os.environ.get("REPRO_CACHE", "1") != "0",
+        cache_dir=os.environ.get("REPRO_CACHE_DIR", ".repro-cache"),
+        cell_timeout=float(os.environ.get("REPRO_CELL_TIMEOUT", "600")),
+    )
+
+
+# ---------------------------------------------------------------------
+# Stage accounting
+# ---------------------------------------------------------------------
+
+
+class StageStats:
+    """Per-stage hit/miss/compute-seconds counters (plus totals the
+    run metadata wants).  ``snapshot()``/``delta_since()`` attribute
+    activity to individual experiments."""
+
+    def __init__(self):
+        self.counts: Dict[str, Dict[str, float]] = {}
+        self.instructions = 0
+        self.retries = 0
+
+    def add(self, stage: str, hit: bool, seconds: float) -> None:
+        bucket = self.counts.setdefault(
+            stage, {"hits": 0, "misses": 0, "seconds": 0.0})
+        bucket["hits" if hit else "misses"] += 1
+        bucket["seconds"] += seconds
+
+    def merge_stage_report(self,
+                           report: Dict[str, Dict[str, object]]) -> None:
+        for stage, info in report.items():
+            self.add(stage, bool(info["hit"]), float(info["seconds"]))
+
+    def hits(self, stage: str) -> int:
+        return int(self.counts.get(stage, {}).get("hits", 0))
+
+    def misses(self, stage: str) -> int:
+        return int(self.counts.get(stage, {}).get("misses", 0))
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "counts": {stage: dict(bucket)
+                       for stage, bucket in self.counts.items()},
+            "instructions": self.instructions,
+        }
+
+    def delta_since(self, snapshot: Dict[str, object]
+                    ) -> Tuple[Dict[str, Dict[str, object]], int]:
+        """(per-stage delta dict, instruction-count delta)."""
+        before = snapshot["counts"]
+        delta: Dict[str, Dict[str, object]] = {}
+        for stage, bucket in self.counts.items():
+            old = before.get(stage, {"hits": 0, "misses": 0,
+                                     "seconds": 0.0})
+            entry = {
+                "hits": int(bucket["hits"] - old["hits"]),
+                "misses": int(bucket["misses"] - old["misses"]),
+                "seconds": round(bucket["seconds"] - old["seconds"], 3),
+            }
+            if entry["hits"] or entry["misses"]:
+                delta[stage] = entry
+        return delta, self.instructions - snapshot["instructions"]
+
+
+# ---------------------------------------------------------------------
+# Cells
+# ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One independent unit of suite work: a workload at a scale under
+    fixed compiler options."""
+
+    workload: str
+    scale: float
+    options: CompilerOptions
+
+    def describe(self) -> str:
+        return "%s@%s[%s]" % (self.workload, self.scale,
+                              self.options.to_key())
+
+
+@dataclass
+class CellArtifact:
+    """Everything one cell produced, reconstructed as native objects."""
+
+    spec: CellSpec
+    trace: Trace
+    analysis: DeadnessAnalysis
+    output: List[object]
+    compile_key: str
+    trace_key: str
+    analysis_key: str
+    #: per-stage ``{"hit": bool, "seconds": float}``
+    stages: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+
+def _bools_to_bytes(values: Sequence[bool]) -> bytes:
+    return bytes(bytearray(values))
+
+
+def _bytes_to_bools(blob: bytes) -> List[bool]:
+    return [byte == 1 for byte in blob]
+
+
+def _compute_cell_payload(spec: CellSpec,
+                          config: EngineConfig) -> Dict[str, object]:
+    """Run one cell's compile → trace → analysis chain, using and
+    populating the on-disk cache.  Top-level so pool workers can
+    execute it; returns only plainly picklable data."""
+    cache = CacheDir(config.cache_dir) if config.cache else None
+    workload = get_workload(spec.workload)
+    source = workload.source(spec.scale)
+    stages: Dict[str, Dict[str, object]] = {}
+
+    # -- compile ------------------------------------------------------
+    compile_key = stable_hash("compile", spec.workload, source,
+                              spec.options.to_key(),
+                              stage_salt("compile"))
+    started = time.perf_counter()
+    asm = cache.load("compile", compile_key) if cache else MISS
+    hit = isinstance(asm, str)
+    if not hit:
+        asm = compile_source(source, spec.options)
+        if cache:
+            cache.store("compile", compile_key, asm)
+    stages["compile"] = {"hit": hit,
+                         "seconds": time.perf_counter() - started}
+    program = assemble(asm, name=spec.workload)
+
+    # -- trace --------------------------------------------------------
+    trace_key = stable_hash("trace", compile_key, str(MAX_STEPS),
+                            stage_salt("trace"))
+    started = time.perf_counter()
+    entry = cache.load("trace", trace_key) if cache else MISS
+    expected = workload.reference(spec.scale)
+    hit = (isinstance(entry, dict)
+           and entry.get("output") == expected)
+    if hit:
+        pcs, taken, addrs = entry["pcs"], entry["taken"], entry["addrs"]
+        output = entry["output"]
+    else:
+        machine, trace = run_program(program, max_steps=MAX_STEPS)
+        if machine.output != expected:
+            raise AssertionError(
+                "workload %r produced %r, expected %r" % (
+                    spec.workload, machine.output, expected))
+        pcs, taken, addrs = trace.pcs, trace.taken, trace.addrs
+        output = machine.output
+        if cache:
+            cache.store("trace", trace_key,
+                        {"pcs": pcs, "taken": taken, "addrs": addrs,
+                         "output": output})
+    stages["trace"] = {"hit": hit,
+                       "seconds": time.perf_counter() - started}
+
+    # -- analysis -----------------------------------------------------
+    analysis_key = stable_hash("analysis", trace_key,
+                               stage_salt("analysis"))
+    started = time.perf_counter()
+    entry = cache.load("analysis", analysis_key) if cache else MISS
+    hit = isinstance(entry, dict) and len(entry.get("dead", b"")) == \
+        len(pcs)
+    if hit:
+        dead_blob, direct_blob = entry["dead"], entry["direct"]
+        counts = entry["counts"]
+    else:
+        trace = Trace(program)
+        trace.pcs, trace.taken, trace.addrs = pcs, taken, addrs
+        analysis = analyze_deadness(trace)
+        dead_blob = _bools_to_bytes(analysis.dead)
+        direct_blob = _bools_to_bytes(analysis.direct)
+        counts = {
+            "n_dynamic": analysis.n_dynamic,
+            "n_eligible": analysis.n_eligible,
+            "n_dead": analysis.n_dead,
+            "n_direct": analysis.n_direct,
+            "n_transitive": analysis.n_transitive,
+            "n_dead_stores": analysis.n_dead_stores,
+        }
+        if cache:
+            cache.store("analysis", analysis_key,
+                        {"dead": dead_blob, "direct": direct_blob,
+                         "counts": counts})
+    stages["analysis"] = {"hit": hit,
+                          "seconds": time.perf_counter() - started}
+
+    return {
+        "compile_key": compile_key,
+        "trace_key": trace_key,
+        "analysis_key": analysis_key,
+        "asm": asm,
+        "pcs": pcs, "taken": taken, "addrs": addrs, "output": output,
+        "dead": dead_blob, "direct": direct_blob, "counts": counts,
+        "stages": stages,
+    }
+
+
+def _payload_to_artifact(spec: CellSpec,
+                         payload: Dict[str, object]) -> CellArtifact:
+    """Rebuild native Trace/DeadnessAnalysis objects from a payload.
+    Used identically for serial, pooled, and cache-hit paths so every
+    path yields bit-identical artifacts."""
+    program = assemble(payload["asm"], name=spec.workload)
+    trace = Trace(program)
+    trace.pcs = payload["pcs"]
+    trace.taken = payload["taken"]
+    trace.addrs = payload["addrs"]
+    statics = StaticTable(program)
+    counts = payload["counts"]
+    analysis = DeadnessAnalysis(
+        trace=trace, statics=statics,
+        dead=_bytes_to_bools(payload["dead"]),
+        direct=_bytes_to_bools(payload["direct"]),
+        **counts)
+    return CellArtifact(
+        spec=spec, trace=trace, analysis=analysis,
+        output=payload["output"],
+        compile_key=payload["compile_key"],
+        trace_key=payload["trace_key"],
+        analysis_key=payload["analysis_key"],
+        stages=payload["stages"])
+
+
+def _analysis_fingerprint(analysis: DeadnessAnalysis) -> str:
+    """Discriminates differently-parameterized analyses of the same
+    trace (e.g. ``track_stores=False``) in timing keys."""
+    return "%d,%d,%d" % (analysis.n_dead, analysis.n_direct,
+                         analysis.n_dead_stores)
+
+
+def _simulate_key(trace_key: str, machine_config: MachineConfig,
+                  analysis: Optional[DeadnessAnalysis]) -> str:
+    fingerprint = _analysis_fingerprint(analysis) if analysis else "-"
+    return stable_hash("timing", trace_key, machine_config.to_key(),
+                       fingerprint, stage_salt("timing"))
+
+
+def _prefetch_sim_worker(args: Tuple[CellSpec, MachineConfig,
+                                     EngineConfig]
+                         ) -> Tuple[str, PipelineResult, float]:
+    """Pool worker: materialize a (hot-cache) cell, run one timing
+    simulation, persist it, and return it for the in-memory memo."""
+    spec, machine_config, config = args
+    payload = _compute_cell_payload(spec, config)
+    artifact = _payload_to_artifact(spec, payload)
+    key = _simulate_key(artifact.trace_key, machine_config,
+                        artifact.analysis)
+    cache = CacheDir(config.cache_dir) if config.cache else None
+    started = time.perf_counter()
+    result = cache.load("timing", key) if cache else MISS
+    if not isinstance(result, PipelineResult):
+        result = simulate(artifact.trace, machine_config,
+                          artifact.analysis)
+        if cache:
+            cache.store("timing", key, result)
+    return key, result, time.perf_counter() - started
+
+
+# ---------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover (non-fork platforms)
+        return multiprocessing.get_context("spawn")
+
+
+class Engine:
+    """Stage-aware executor for experiment cells (module docstring)."""
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config if config is not None else config_from_env()
+        self.cache: Optional[CacheDir] = (
+            CacheDir(self.config.cache_dir) if self.config.cache
+            else None)
+        self.stats = StageStats()
+        #: in-memory memo for timing results (tiny objects); serves
+        #: repeated simulations and prefetched no-cache results
+        self._sim_memo: Dict[str, PipelineResult] = {}
+
+    # -- cells --------------------------------------------------------
+
+    def run_cells(self, specs: Sequence[CellSpec]) -> List[CellArtifact]:
+        """Execute every cell; results in input order regardless of
+        worker completion order."""
+        if self.config.jobs <= 1 or len(specs) <= 1:
+            payloads = [self._cell_with_retry(spec) for spec in specs]
+        else:
+            payloads = self._run_cells_pool(specs)
+        artifacts = []
+        for spec, payload in zip(specs, payloads):
+            self.stats.merge_stage_report(payload["stages"])
+            self.stats.instructions += len(payload["pcs"])
+            artifacts.append(_payload_to_artifact(spec, payload))
+        return artifacts
+
+    def _cell_with_retry(self, spec: CellSpec) -> Dict[str, object]:
+        attempts = 1 + max(self.config.retries, 0)
+        for attempt in range(attempts):
+            try:
+                return _compute_cell_payload(spec, self.config)
+            except Exception:
+                if attempt + 1 == attempts:
+                    raise
+                self.stats.retries += 1
+        raise AssertionError("unreachable")
+
+    def _run_cells_pool(self,
+                        specs: Sequence[CellSpec]
+                        ) -> List[Dict[str, object]]:
+        workers = min(self.config.jobs, len(specs))
+        payloads: List[Optional[Dict[str, object]]] = [None] * len(specs)
+        context = _pool_context()
+        with context.Pool(processes=workers) as pool:
+            pending = [pool.apply_async(_compute_cell_payload,
+                                        (spec, self.config))
+                       for spec in specs]
+            for index, handle in enumerate(pending):
+                try:
+                    payloads[index] = handle.get(self.config.cell_timeout)
+                except Exception:
+                    # Worker crash, unpicklable error, or timeout:
+                    # recompute this cell serially in the parent
+                    # (retry-once robustness).  A genuine bug still
+                    # raises on the retry.
+                    self.stats.retries += 1
+                    payloads[index] = self._cell_with_retry(specs[index])
+        return payloads  # type: ignore[return-value]
+
+    # -- timing stage -------------------------------------------------
+
+    def simulate(self, trace: Trace, machine_config: MachineConfig,
+                 analysis: Optional[DeadnessAnalysis] = None,
+                 trace_key: Optional[str] = None) -> PipelineResult:
+        """The cached timing stage.  Without a *trace_key* (ad-hoc
+        traces) the simulation runs uncached."""
+        if trace_key is None:
+            return simulate(trace, machine_config, analysis)
+        key = _simulate_key(trace_key, machine_config, analysis)
+        started = time.perf_counter()
+        memo = self._sim_memo.get(key)
+        if memo is not None:
+            self.stats.add("timing", True,
+                           time.perf_counter() - started)
+            return memo
+        if self.cache:
+            cached = self.cache.load("timing", key)
+            if isinstance(cached, PipelineResult):
+                self._sim_memo[key] = cached
+                self.stats.add("timing", True,
+                               time.perf_counter() - started)
+                return cached
+        result = simulate(trace, machine_config, analysis)
+        self._sim_memo[key] = result
+        if self.cache:
+            self.cache.store("timing", key, result)
+        self.stats.add("timing", False, time.perf_counter() - started)
+        return result
+
+    def prefetch_simulations(
+            self, items: Sequence[Tuple["object", MachineConfig]]
+    ) -> None:
+        """Warm the timing stage for (run, machine-config) pairs in
+        parallel.  *items* pair objects exposing ``.spec``,
+        ``.cache_key`` and ``.analysis`` (:class:`SuiteRun` or
+        :class:`CellArtifact`-shaped) with machine configs.  Purely an
+        accelerator: serial ``simulate`` calls afterwards hit the memo
+        or disk; any prefetch failure silently falls back."""
+        if self.config.jobs <= 1:
+            return
+        todo: List[Tuple[CellSpec, MachineConfig, EngineConfig]] = []
+        for run, machine_config in items:
+            trace_key = getattr(run, "cache_key", None) or \
+                getattr(run, "trace_key", None)
+            if trace_key is None:
+                continue
+            key = _simulate_key(trace_key, machine_config, run.analysis)
+            if key in self._sim_memo:
+                continue
+            if self.cache and os.path.exists(
+                    self.cache.entry_path("timing", key)):
+                continue
+            todo.append((run.spec, machine_config, self.config))
+        if not todo:
+            return
+        workers = min(self.config.jobs, len(todo))
+        context = _pool_context()
+        with context.Pool(processes=workers) as pool:
+            pending = [pool.apply_async(_prefetch_sim_worker, (args,))
+                       for args in todo]
+            for handle in pending:
+                try:
+                    key, result, _seconds = handle.get(
+                        self.config.cell_timeout)
+                except Exception:
+                    self.stats.retries += 1
+                    continue
+                self._sim_memo[key] = result
+
+    # -- paths stage --------------------------------------------------
+
+    def paths_for(self, run: "object", path_bits: int) -> PathInfo:
+        """Cached future-path precomputation for one suite run (an
+        object with ``.trace``, ``.analysis`` and ``.cache_key``)."""
+        trace_key = getattr(run, "cache_key", None)
+        statics = run.analysis.statics
+        if trace_key is None or self.cache is None:
+            return compute_paths(run.trace, statics,
+                                 path_bits=path_bits)
+        key = stable_hash("paths", trace_key, str(path_bits),
+                          stage_salt("paths"))
+        started = time.perf_counter()
+        cached = self.cache.load("paths", key)
+        if isinstance(cached, PathInfo):
+            self.stats.add("paths", True, time.perf_counter() - started)
+            return cached
+        paths = compute_paths(run.trace, statics, path_bits=path_bits)
+        self.cache.store("paths", key, paths)
+        self.stats.add("paths", False, time.perf_counter() - started)
+        return paths
+
+    # -- bookkeeping --------------------------------------------------
+
+    def clear_memos(self) -> None:
+        """Drop in-memory memoized results (tests bound memory)."""
+        self._sim_memo.clear()
+
+    def describe(self) -> Dict[str, object]:
+        """Engine configuration for run metadata."""
+        return {
+            "jobs": self.config.jobs,
+            "cache": self.config.cache,
+            "cache_dir": os.path.abspath(self.config.cache_dir),
+            "cell_timeout": self.config.cell_timeout,
+        }
+
+
+# ---------------------------------------------------------------------
+# Module-level singleton
+# ---------------------------------------------------------------------
+
+_ENGINE: Optional[Engine] = None
+
+
+def get_engine() -> Engine:
+    """The process-wide engine (created from the environment on first
+    use; reconfigured by :func:`configure`)."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = Engine()
+    return _ENGINE
+
+
+def configure(config: EngineConfig) -> Engine:
+    """Install a fresh engine with *config* (CLI and benchmarks)."""
+    global _ENGINE
+    _ENGINE = Engine(config)
+    return _ENGINE
+
+
+def reset_engine() -> None:
+    """Forget the singleton (next :func:`get_engine` re-reads env)."""
+    global _ENGINE
+    _ENGINE = None

@@ -4,21 +4,31 @@ Every function takes a ``scale`` (workload size multiplier, 1.0 =
 default inputs) and returns an :class:`ExperimentResult`.  The tables
 mirror what the paper reports; EXPERIMENTS.md records paper-vs-measured
 for each.
+
+Execution goes through :mod:`repro.harness.engine`: workload artifacts
+come from :func:`~repro.harness.runs.suite_runs` (cached compile /
+trace / analysis stages) and every timing simulation and future-path
+precomputation runs through the engine's cached stages, so a hot-cache
+rerun of any experiment reuses all of its expensive work while
+producing bit-identical tables.  The ``_prefetch_pairs`` helper warms
+the timing stage for a whole (runs × configs) cross-product in
+parallel before the serial result loops read it back in deterministic
+order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List
 
 from repro.analysis import classify_statics, locality_stats
+from repro.harness.engine import get_engine
 from repro.harness.runs import SuiteRun, suite_runs
 from repro.harness.tables import Table, percent, signed_percent
 from repro.pipeline import (
     MachineConfig,
     contended_config,
     default_config,
-    simulate,
 )
 from repro.predictors import (
     BimodalDeadPredictor,
@@ -27,7 +37,6 @@ from repro.predictors import (
     OracleDeadPredictor,
     PathDeadPredictor,
     ProfileDeadPredictor,
-    compute_paths,
     evaluate_predictor,
 )
 from repro.predictors.dead.table import SignatureDeadPredictor
@@ -175,10 +184,10 @@ def _suite_predictor_stats(runs: List[SuiteRun], make_predictor,
                            path_bits: int) -> DeadPredictionStats:
     """Aggregate accuracy/coverage over the suite; a fresh predictor
     per workload (the paper evaluates benchmarks independently)."""
+    engine = get_engine()
     stats = DeadPredictionStats()
     for run in runs:
-        paths = compute_paths(run.trace, run.analysis.statics,
-                              path_bits=path_bits)
+        paths = engine.paths_for(run, path_bits)
         predictor = make_predictor(run)
         evaluate_predictor(run.analysis, predictor, paths, stats)
     return stats
@@ -250,16 +259,33 @@ def f6_predictor_compare(scale: float = 1.0) -> ExperimentResult:
 # ---------------------------------------------------------------------
 
 
-def _run_pair(run: SuiteRun, config: MachineConfig,
-              elim_overrides: Dict[str, object] = None):
-    from dataclasses import replace
-
-    base = simulate(run.trace, config, run.analysis)
+def _elim_variant(config: MachineConfig,
+                  elim_overrides: Dict[str, object] = None
+                  ) -> MachineConfig:
     overrides = {"eliminate": True}
     if elim_overrides:
         overrides.update(elim_overrides)
-    elim = simulate(run.trace, replace(config, **overrides), run.analysis)
+    return replace(config, **overrides)
+
+
+def _run_pair(run: SuiteRun, config: MachineConfig,
+              elim_overrides: Dict[str, object] = None):
+    engine = get_engine()
+    base = engine.simulate(run.trace, config, run.analysis,
+                           trace_key=run.cache_key)
+    elim = engine.simulate(run.trace,
+                           _elim_variant(config, elim_overrides),
+                           run.analysis, trace_key=run.cache_key)
     return base, elim
+
+
+def _prefetch_pairs(runs: List[SuiteRun],
+                    *configs: MachineConfig) -> None:
+    """Warm the engine's timing stage for every (run, config) cell in
+    parallel (no-op for serial engines); the experiment's own loop
+    then reads the results back in deterministic suite order."""
+    get_engine().prefetch_simulations(
+        [(run, config) for run in runs for config in configs])
 
 
 def f7_resources(scale: float = 1.0) -> ExperimentResult:
@@ -275,6 +301,8 @@ def f7_resources(scale: float = 1.0) -> ExperimentResult:
     sums = [0.0] * 5
     data: Dict[str, object] = {}
     runs = suite_runs(scale)
+    _prefetch_pairs(runs, default_config(),
+                    _elim_variant(default_config()))
     for run in runs:
         base, elim = _run_pair(run, default_config())
         sb, se = base.stats, elim.stats
@@ -312,6 +340,9 @@ def f8_speedup(scale: float = 1.0) -> ExperimentResult:
     data: Dict[str, object] = {"contended": {}, "default": {}}
     geo_contended = geo_default = 1.0
     runs = suite_runs(scale)
+    _prefetch_pairs(runs, contended_config(),
+                    _elim_variant(contended_config()),
+                    default_config(), _elim_variant(default_config()))
     for run in runs:
         base_c, elim_c = _run_pair(run, contended_config())
         base_d, elim_d = _run_pair(run, default_config())
@@ -424,6 +455,9 @@ def a3_recovery(scale: float = 1.0) -> ExperimentResult:
         ("flush, 24-cycle penalty", {"recovery_mode": "flush",
                                      "recovery_penalty": 24}),
     ]
+    _prefetch_pairs(runs, contended_config(),
+                    *[_elim_variant(contended_config(), overrides)
+                      for _label, overrides in variants])
     for label, overrides in variants:
         geo = 1.0
         worst_name, worst = "", 1.0
@@ -458,24 +492,29 @@ def a4_scheduling(scale: float = 1.0) -> ExperimentResult:
                   "(contended machine, cycles normalized to -O0 base)",
                   ["max hoist", "dead%", "cycles (base)",
                    "cycles (elim)", "elim recovers"])
+    engine = get_engine()
     config = contended_config()
     data: Dict[int, object] = {}
     reference: Dict[str, int] = {}
-    for run in suite_runs(scale, opt_level=0):
-        result = simulate(run.trace, config, run.analysis)
+    reference_runs = suite_runs(scale, opt_level=0)
+    _prefetch_pairs(reference_runs, config)
+    for run in reference_runs:
+        result = engine.simulate(run.trace, config, run.analysis,
+                                 trace_key=run.cache_key)
         reference[run.workload.name] = result.stats.cycles
     for max_hoist in (0, 2, 4, 8):
         opt_level = 2 if max_hoist else 0
         runs = suite_runs(scale, opt_level=opt_level,
                           max_hoist=max(max_hoist, 1))
+        _prefetch_pairs(runs, config, _elim_variant(config))
         geo_base = geo_elim = 1.0
         dead_total = dyn_total = 0
         for run in runs:
-            base = simulate(run.trace, config, run.analysis)
-            from dataclasses import replace
-
-            elim = simulate(run.trace, replace(config, eliminate=True),
-                            run.analysis)
+            base = engine.simulate(run.trace, config, run.analysis,
+                                   trace_key=run.cache_key)
+            elim = engine.simulate(run.trace, _elim_variant(config),
+                                   run.analysis,
+                                   trace_key=run.cache_key)
             norm = reference[run.workload.name]
             geo_base *= base.stats.cycles / norm
             geo_elim *= elim.stats.cycles / norm
@@ -509,32 +548,26 @@ def a5_static_dce(scale: float = 1.0) -> ExperimentResult:
     every path, while the paper's deadness lives on the dynamically
     taken paths of partially dead instructions.
     """
-    from repro.lang import CompilerOptions
-
     table = Table("Static scalar optimization vs dynamic deadness",
                   ["benchmark", "dyn. instrs removed", "dead% (plain)",
                    "dead% (+scalar opt)"])
     data: Dict[str, object] = {}
     plain_dead = opt_dead = 0
     plain_dyn = opt_dyn = 0
-    from repro.analysis import analyze_deadness
-    from repro.workloads import all_workloads
-
-    for workload in all_workloads():
-        _, plain_trace = workload.run(
-            CompilerOptions(opt_level=2), scale=scale)
-        _, opt_trace = workload.run(
-            CompilerOptions(opt_level=2, scalar_opt=True), scale=scale)
-        plain = analyze_deadness(plain_trace)
-        optimized = analyze_deadness(opt_trace)
-        removed = 1 - len(opt_trace) / len(plain_trace)
-        data[workload.name] = (removed, plain.dead_fraction,
-                               optimized.dead_fraction)
+    plain_runs = suite_runs(scale)
+    opt_runs = suite_runs(scale, scalar_opt=True)
+    for plain_run, opt_run in zip(plain_runs, opt_runs):
+        plain = plain_run.analysis
+        optimized = opt_run.analysis
+        removed = 1 - len(opt_run.trace) / len(plain_run.trace)
+        name = plain_run.workload.name
+        data[name] = (removed, plain.dead_fraction,
+                      optimized.dead_fraction)
         plain_dead += plain.n_dead
         opt_dead += optimized.n_dead
         plain_dyn += plain.n_dynamic
         opt_dyn += optimized.n_dynamic
-        table.add_row(workload.name, percent(removed),
+        table.add_row(name, percent(removed),
                       percent(plain.dead_fraction),
                       percent(optimized.dead_fraction))
     suite = (1 - opt_dyn / plain_dyn, plain_dead / plain_dyn,
@@ -593,8 +626,6 @@ def a6_warmup(scale: float = 1.0) -> ExperimentResult:
     the predictor re-warms within a few thousand instructions — state
     loss on a context switch costs almost nothing.
     """
-    from repro.predictors.dead.paths import compute_paths
-
     window = 2000
     buckets = ("steady (pre-flush)", "0-2k after", "2k-4k after",
                "4k-8k after", "8k+ after")
@@ -602,11 +633,12 @@ def a6_warmup(scale: float = 1.0) -> ExperimentResult:
                   ["phase", "coverage"])
     totals = {bucket: [0, 0] for bucket in buckets}  # [hits, dead]
 
+    engine = get_engine()
     for run in suite_runs(scale):
         analysis = run.analysis
         trace = run.trace
         statics = analysis.statics
-        paths = compute_paths(trace, statics, path_bits=3)
+        paths = engine.paths_for(run, 3)
         predictor = PathDeadPredictor()
         midpoint = len(trace) // 2
         for i in range(len(trace)):
@@ -662,6 +694,8 @@ def e1_energy(scale: float = 1.0) -> ExperimentResult:
     data: Dict[str, float] = {}
     total = 0.0
     runs = suite_runs(scale)
+    _prefetch_pairs(runs, default_config(),
+                    _elim_variant(default_config()))
     for run in runs:
         base, elim = _run_pair(run, default_config())
         reduction = energy_reduction(base, elim)
@@ -698,7 +732,14 @@ def e2_register_scaling(scale: float = 1.0) -> ExperimentResult:
                    "elim speedup"])
     runs = suite_runs(scale)
     data: Dict[int, object] = {}
-    for phys_regs in (44, 48, 56, 72, 104, 160):
+    sweep = (44, 48, 56, 72, 104, 160)
+    _prefetch_pairs(runs, *[conf
+                            for regs in sweep
+                            for conf in
+                            (contended_config(phys_regs=regs),
+                             _elim_variant(
+                                 contended_config(phys_regs=regs)))])
+    for phys_regs in sweep:
         geo_base = geo_speedup = 1.0
         for run in runs:
             base, elim = _run_pair(run,

@@ -1,0 +1,152 @@
+"""Structured run metadata: one JSON document per harness invocation.
+
+Every ``repro-harness`` run (and any embedding that opts in) records a
+machine-readable provenance document under ``<cache>/runs/``::
+
+    {
+      "schema": 1,
+      "run_id": "20260805-141502-1234",
+      "started_at": "2026-08-05T14:15:02",
+      "argv": ["F7", "F8", "--jobs", "4"],
+      "host": {"platform": "...", "python": "3.11.x", "cpu_count": 8},
+      "engine": {"jobs": 4, "cache": true, "cache_dir": "..."},
+      "experiments": [
+        {"id": "F7", "wall_s": 3.21, "instructions": 440123,
+         "stages": {"compile": {"hits": 10, "misses": 0, "seconds": 0.0},
+                    "trace":   {...}, "analysis": {...},
+                    "paths": {...}, "timing": {...}}},
+        ...
+      ],
+      "totals": {"wall_s": ..., "stages": {...}, "instructions": ...}
+    }
+
+``wall_s`` is per-experiment wall time; ``stages`` are the engine's
+per-stage cache hit/miss counts and compute seconds *attributed to that
+experiment* (snapshot deltas), so a hot-cache rerun shows zero compile
+and trace misses.  ``repro-harness runs`` summarizes these documents.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+SCHEMA = 1
+
+
+def host_info() -> Dict[str, object]:
+    """Enough host detail to interpret wall times later."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _new_run_id() -> str:
+    return "%s-%d" % (time.strftime("%Y%m%d-%H%M%S"), os.getpid())
+
+
+@dataclass
+class RunRecorder:
+    """Accumulates per-experiment records for one harness invocation."""
+
+    argv: List[str] = field(default_factory=list)
+    engine_info: Dict[str, object] = field(default_factory=dict)
+    run_id: str = field(default_factory=_new_run_id)
+    started_at: str = field(
+        default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S"))
+    experiments: List[Dict[str, object]] = field(default_factory=list)
+
+    def record(self, experiment_id: str, wall_s: float,
+               stage_delta: Dict[str, Dict[str, object]],
+               instructions: int) -> None:
+        self.experiments.append({
+            "id": experiment_id,
+            "wall_s": round(wall_s, 3),
+            "instructions": instructions,
+            "stages": stage_delta,
+        })
+
+    def document(self) -> Dict[str, object]:
+        totals_stages: Dict[str, Dict[str, float]] = {}
+        for record in self.experiments:
+            for stage, counts in record["stages"].items():
+                bucket = totals_stages.setdefault(
+                    stage, {"hits": 0, "misses": 0, "seconds": 0.0})
+                bucket["hits"] += counts.get("hits", 0)
+                bucket["misses"] += counts.get("misses", 0)
+                bucket["seconds"] = round(
+                    bucket["seconds"] + counts.get("seconds", 0.0), 3)
+        return {
+            "schema": SCHEMA,
+            "run_id": self.run_id,
+            "started_at": self.started_at,
+            "argv": list(self.argv),
+            "host": host_info(),
+            "engine": dict(self.engine_info),
+            "experiments": list(self.experiments),
+            "totals": {
+                "wall_s": round(sum(r["wall_s"]
+                                    for r in self.experiments), 3),
+                "instructions": sum(r["instructions"]
+                                    for r in self.experiments),
+                "stages": totals_stages,
+            },
+        }
+
+    def write(self, runs_root: str) -> str:
+        """Persist the document; returns the path written."""
+        os.makedirs(runs_root, exist_ok=True)
+        path = os.path.join(runs_root, "run-%s.json" % self.run_id)
+        with open(path, "w") as stream:
+            json.dump(self.document(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        return path
+
+
+def load_runs(runs_root: str) -> List[Dict[str, object]]:
+    """All parseable run documents, oldest first."""
+    if not os.path.isdir(runs_root):
+        return []
+    documents = []
+    for name in sorted(os.listdir(runs_root)):
+        if not (name.startswith("run-") and name.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(runs_root, name)) as stream:
+                documents.append(json.load(stream))
+        except (OSError, ValueError):
+            continue
+    documents.sort(key=lambda doc: doc.get("started_at", ""))
+    return documents
+
+
+def summarize_runs(documents: List[Dict[str, object]],
+                   last: Optional[int] = None) -> str:
+    """A human-readable table over run documents (newest last)."""
+    if last is not None:
+        documents = documents[-last:]
+    if not documents:
+        return "no recorded runs"
+    lines = ["%-22s %-19s %5s %8s %9s %9s %s" %
+             ("run id", "started", "exps", "wall(s)",
+              "hit/miss", "instrs", "experiments")]
+    for doc in documents:
+        totals = doc.get("totals", {})
+        stages = totals.get("stages", {})
+        hits = sum(c.get("hits", 0) for c in stages.values())
+        misses = sum(c.get("misses", 0) for c in stages.values())
+        ids = [r.get("id", "?") for r in doc.get("experiments", [])]
+        shown = ",".join(ids[:8]) + ("..." if len(ids) > 8 else "")
+        lines.append("%-22s %-19s %5d %8.1f %9s %9d %s" % (
+            doc.get("run_id", "?"), doc.get("started_at", "?"),
+            len(ids), totals.get("wall_s", 0.0),
+            "%d/%d" % (hits, misses),
+            totals.get("instructions", 0), shown))
+    return "\n".join(lines)

@@ -28,9 +28,13 @@ __all__ = ["CompileError", "CompilerOptions", "compile_source",
            "compile_to_program"]
 
 
-@dataclass
+@dataclass(frozen=True)
 class CompilerOptions:
-    """Compilation knobs used by the experiments."""
+    """Compilation knobs used by the experiments.
+
+    Frozen (hashable) so option sets can key caches; the canonical
+    serialization for on-disk cache keys is :meth:`to_key`.
+    """
 
     #: 0 disables the hoisting scheduler; 2 (default) enables it.
     opt_level: int = 2
@@ -44,6 +48,12 @@ class CompilerOptions:
     #: numbers are independent of it; the A5 experiment turns it on to
     #: show static DCE cannot remove *dynamic* deadness.
     scalar_opt: bool = False
+
+    def to_key(self) -> str:
+        """Canonical serialization for cache keying (repro.keys)."""
+        from repro.keys import config_key
+
+        return config_key(self)
 
 
 def compile_source(source: str, options: CompilerOptions = None) -> str:

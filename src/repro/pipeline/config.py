@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.keys import config_key
+
 
 @dataclass(frozen=True)
 class DeadPredictorConfig:
@@ -28,6 +30,10 @@ class DeadPredictorConfig:
     #: confidence (a false "dead" costs a recovery, a false "live"
     #: only forfeits a small saving)
     threshold: int = 3
+
+    def to_key(self) -> str:
+        """Canonical serialization for cache keying (repro.keys)."""
+        return config_key(self)
 
 
 @dataclass(frozen=True)
@@ -107,6 +113,10 @@ class MachineConfig:
     #: guarantees a stalled unverified head can usually be replayed
     #: instead of flushed even when rename has exhausted the free list
     replay_reserve_pregs: int = 1
+
+    def to_key(self) -> str:
+        """Canonical serialization for cache keying (repro.keys)."""
+        return config_key(self)
 
 
 def default_config(**overrides) -> MachineConfig:
