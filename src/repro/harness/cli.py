@@ -11,23 +11,38 @@ Examples::
     python -m repro.harness runs --last 1 --json
     python -m repro.harness cache stats      # on-disk cache usage
     python -m repro.harness cache clear      # drop stage artifacts
+    python -m repro.harness F6 F7 --obs      # collect telemetry
+    python -m repro.harness F6 --obs --profile   # + cProfile pstats
+    python -m repro.harness obs report last  # render stored telemetry
+    python -m repro.harness obs timeline last --label mergesort
+    python -m repro.harness obs hotspots last --top 20
+    python -m repro.harness obs export last  # Prometheus text format
 
 Experiment runs execute through :mod:`repro.harness.engine` (staged
 on-disk cache + optional multiprocessing) and each invocation records
 a structured metadata document (wall time per experiment, per-stage
 cache hits/misses, instruction counts, host info) under
 ``<cache-dir>/runs/`` — see :mod:`repro.harness.runmeta`.
+
+With ``--obs`` (or ``REPRO_OBS=1``) the run additionally collects
+telemetry — hierarchical spans, pipeline occupancy timelines, predictor
+introspection, a metrics registry — stored under
+``<cache-dir>/runs/obs-<run_id>/`` and rendered by the ``obs``
+subcommands.  See :mod:`repro.obs` and ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 import time
 from typing import List, Optional
 
 from repro.harness.engine import EngineConfig, config_from_env, configure
 from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.obs.logging import setup_logging
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -74,6 +89,14 @@ def _experiments_main(argv: List[str]) -> int:
     parser.add_argument("--no-meta", action="store_true",
                         help="do not record run metadata under "
                              "<cache-dir>/runs/")
+    parser.add_argument("--obs", action="store_true",
+                        help="collect telemetry (spans, pipeline "
+                             "timelines, predictor introspection, "
+                             "metrics) under <cache-dir>/runs/obs-<id>/"
+                             "; also enabled by REPRO_OBS=1")
+    parser.add_argument("--profile", action="store_true",
+                        help="store a cProfile pstats file per "
+                             "experiment (implies --obs)")
     _add_engine_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -86,30 +109,57 @@ def _experiments_main(argv: List[str]) -> int:
 
     engine = configure(_engine_config(args))
 
+    from repro import obs as obslib
+    from repro.harness.cachedir import CacheDir
     from repro.harness.runmeta import RunRecorder
+
+    obs_config = obslib.obs_config_from_env()
+    if (args.obs or args.profile) and obs_config is None:
+        obs_config = obslib.ObsConfig()
+    collector = obslib.configure_obs(obs_config)
 
     recorder = RunRecorder(argv=list(argv),
                            engine_info=engine.describe())
+    runs_root = CacheDir(args.cache_dir).runs_root
+    obs_dir = os.path.join(runs_root, "obs-%s" % recorder.run_id)
+
     dumps = {}
-    for identifier in ids:
-        snapshot = engine.stats.snapshot()
-        started = time.time()
-        result = run_experiment(identifier, scale=args.scale)
-        wall = time.time() - started
-        stage_delta, instructions = engine.stats.delta_since(snapshot)
-        recorder.record(identifier, wall, stage_delta, instructions)
-        print(result.render())
-        print("[%s finished in %.1fs%s]" % (
-            identifier, wall, _stage_note(stage_delta)))
-        print()
-        if args.json:
-            dumps[identifier] = {
-                "title": result.title,
-                "tables": [{"title": table.title,
-                            "columns": table.columns,
-                            "rows": table.rows}
-                           for table in result.tables],
-            }
+    with contextlib.ExitStack() as run_stack:
+        if collector is not None:
+            run_stack.enter_context(collector.tracer.span(
+                "run", run_id=recorder.run_id, scale=args.scale))
+        for identifier in ids:
+            snapshot = engine.stats.snapshot()
+            started = time.time()
+            with contextlib.ExitStack() as stack:
+                if collector is not None:
+                    stack.enter_context(collector.tracer.span(
+                        "experiment", id=identifier))
+                    if args.profile:
+                        from repro.obs.profiling import profile_into
+
+                        os.makedirs(obs_dir, exist_ok=True)
+                        stack.enter_context(profile_into(os.path.join(
+                            obs_dir,
+                            "profile-%s.pstats" % identifier)))
+                result = run_experiment(identifier, scale=args.scale)
+            wall = time.time() - started
+            stage_delta, instructions = \
+                engine.stats.delta_since(snapshot)
+            recorder.record(identifier, wall, stage_delta,
+                            instructions)
+            print(result.render())
+            print("[%s finished in %.1fs%s]" % (
+                identifier, wall, _stage_note(stage_delta)))
+            print()
+            if args.json:
+                dumps[identifier] = {
+                    "title": result.title,
+                    "tables": [{"title": table.title,
+                                "columns": table.columns,
+                                "rows": table.rows}
+                               for table in result.tables],
+                }
     if args.json:
         import json
 
@@ -117,10 +167,22 @@ def _experiments_main(argv: List[str]) -> int:
             json.dump({"scale": args.scale, "experiments": dumps},
                       stream, indent=2)
         print("wrote %s" % args.json)
+    if collector is not None:
+        try:
+            artifacts = collector.write(obs_dir)
+        except OSError as error:
+            print("could not store observability artifacts: %s"
+                  % error, file=sys.stderr)
+        else:
+            recorder.obs = {
+                "dir": os.path.abspath(obs_dir),
+                "spans": collector.tracer.summary(),
+                "artifacts": sorted(artifacts),
+            }
+            print("stored observability artifacts: %s (render with "
+                  "`repro-harness obs report %s`)"
+                  % (obs_dir, recorder.run_id))
     if not args.no_meta:
-        from repro.harness.cachedir import CacheDir
-
-        runs_root = CacheDir(args.cache_dir).runs_root
         try:
             path = recorder.write(runs_root)
         except OSError as error:
@@ -203,12 +265,75 @@ def _cache_main(argv: List[str]) -> int:
     return 0
 
 
+def _obs_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness obs",
+        description="Render stored observability artifacts: 'report' "
+                    "(spans + timelines + hotspots), 'timeline' "
+                    "(pipeline occupancy charts), 'hotspots' (top "
+                    "mispredicted PCs), 'export' (Prometheus text).")
+    parser.add_argument("action",
+                        choices=("report", "timeline", "hotspots",
+                                 "export"))
+    parser.add_argument("run", nargs="?", default="last",
+                        metavar="RUN",
+                        help="run id, unique prefix, or 'last' "
+                             "(default: newest observed run)")
+    parser.add_argument("--label", metavar="TEXT",
+                        help="timeline filter: label substring "
+                             "(e.g. a workload name or 'elim')")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="hotspot count (default 10)")
+    parser.add_argument("--json", action="store_true",
+                        help="dump the loaded artifacts as JSON "
+                             "instead of rendering")
+    parser.add_argument("--cache-dir",
+                        default=config_from_env().cache_dir,
+                        metavar="DIR", help="cache root")
+    args = parser.parse_args(argv)
+
+    from repro.harness.cachedir import CacheDir
+    from repro.obs.introspect import render_hotspots
+    from repro.obs.report import (load_obs, render_report,
+                                  render_timelines, resolve_run)
+
+    runs_root = CacheDir(args.cache_dir).runs_root
+    run_doc = resolve_run(runs_root, args.run)
+    if run_doc is None:
+        print("no run matches %r under %s (run an experiment with "
+              "--obs first)" % (args.run, runs_root), file=sys.stderr)
+        return 1
+    obs = load_obs(runs_root, run_doc)
+
+    if args.json:
+        import json
+
+        json.dump({"run": run_doc, "obs": {
+            key: value for key, value in obs.items()
+            if key != "metrics"}}, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    if args.action == "report":
+        print(render_report(run_doc, obs, top=args.top))
+    elif args.action == "timeline":
+        print(render_timelines(obs, label=args.label))
+    elif args.action == "hotspots":
+        print(render_hotspots(obs.get("probes", []), top=args.top))
+    else:  # export
+        sys.stdout.write(obs.get("metrics", "") or
+                         "# no metrics recorded\n")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    setup_logging()
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "runs":
         return _runs_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "obs":
+        return _obs_main(argv[1:])
     return _experiments_main(argv)
 
 

@@ -42,6 +42,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis import DeadnessAnalysis, analyze_deadness
 from repro.analysis.statics import StaticTable
 from repro.emulator import Trace, run_program
@@ -330,8 +331,15 @@ def _analysis_fingerprint(analysis: DeadnessAnalysis) -> str:
 def _simulate_key(trace_key: str, machine_config: MachineConfig,
                   analysis: Optional[DeadnessAnalysis]) -> str:
     fingerprint = _analysis_fingerprint(analysis) if analysis else "-"
-    return stable_hash("timing", trace_key, machine_config.to_key(),
-                       fingerprint, stage_salt("timing"))
+    parts = ["timing", trace_key, machine_config.to_key(),
+             fingerprint, stage_salt("timing")]
+    # Observed simulations carry their timeline inside the cached
+    # result; keep them apart from plain entries (and from other
+    # sampling configurations).
+    obs_fingerprint = obs.timing_fingerprint()
+    if obs_fingerprint:
+        parts.append(obs_fingerprint)
+    return stable_hash(*parts)
 
 
 def _prefetch_sim_worker(args: Tuple[CellSpec, MachineConfig,
@@ -389,12 +397,35 @@ class Engine:
             payloads = [self._cell_with_retry(spec) for spec in specs]
         else:
             payloads = self._run_cells_pool(specs)
+        collector = obs.get_collector()
         artifacts = []
         for spec, payload in zip(specs, payloads):
             self.stats.merge_stage_report(payload["stages"])
             self.stats.instructions += len(payload["pcs"])
+            if collector is not None:
+                self._note_cell(collector, spec, payload["stages"])
             artifacts.append(_payload_to_artifact(spec, payload))
         return artifacts
+
+    @staticmethod
+    def _note_cell(collector, spec: CellSpec,
+                   stages: Dict[str, Dict[str, object]]) -> None:
+        """Telemetry for one materialized cell: a span per stage (the
+        worker's measured wall time, recorded post-hoc since pool cells
+        run in other processes) plus registry counters."""
+        registry = collector.registry
+        tracer = collector.tracer
+        cell = spec.describe()
+        for stage, info in stages.items():
+            hit = bool(info["hit"])
+            seconds = float(info["seconds"])
+            tracer.add("stage:%s" % stage, seconds, hit=hit, cell=cell)
+            registry.counter(
+                "repro_stage_total", "stage executions by outcome",
+                stage=stage, result="hit" if hit else "miss").inc()
+            registry.histogram(
+                "repro_stage_seconds", "stage wall time",
+                stage=stage).observe(seconds)
 
     def _cell_with_retry(self, spec: CellSpec) -> Dict[str, object]:
         attempts = 1 + max(self.config.retries, 0)
@@ -437,27 +468,69 @@ class Engine:
         """The cached timing stage.  Without a *trace_key* (ad-hoc
         traces) the simulation runs uncached."""
         if trace_key is None:
-            return simulate(trace, machine_config, analysis)
+            started = time.perf_counter()
+            result = simulate(trace, machine_config, analysis)
+            self._note_timing(
+                "adhoc:%s:%s" % (trace.program.name,
+                                 machine_config.to_key()),
+                trace, machine_config, result, False,
+                time.perf_counter() - started)
+            return result
         key = _simulate_key(trace_key, machine_config, analysis)
         started = time.perf_counter()
         memo = self._sim_memo.get(key)
         if memo is not None:
-            self.stats.add("timing", True,
-                           time.perf_counter() - started)
+            seconds = time.perf_counter() - started
+            self.stats.add("timing", True, seconds)
+            self._note_timing(key, trace, machine_config, memo, True,
+                              seconds)
             return memo
         if self.cache:
             cached = self.cache.load("timing", key)
             if isinstance(cached, PipelineResult):
                 self._sim_memo[key] = cached
-                self.stats.add("timing", True,
-                               time.perf_counter() - started)
+                seconds = time.perf_counter() - started
+                self.stats.add("timing", True, seconds)
+                self._note_timing(key, trace, machine_config, cached,
+                                  True, seconds)
                 return cached
         result = simulate(trace, machine_config, analysis)
         self._sim_memo[key] = result
         if self.cache:
             self.cache.store("timing", key, result)
-        self.stats.add("timing", False, time.perf_counter() - started)
+        seconds = time.perf_counter() - started
+        self.stats.add("timing", False, seconds)
+        self._note_timing(key, trace, machine_config, result, False,
+                          seconds)
         return result
+
+    def _note_timing(self, key: str, trace: Trace,
+                     machine_config: MachineConfig,
+                     result: PipelineResult, hit: bool,
+                     seconds: float) -> None:
+        """Telemetry for one timing-stage request: span, counters, and
+        the sampled pipeline timeline (which rides inside the cached
+        :class:`PipelineResult`, so hits register it too; the collector
+        deduplicates repeat requests by *key*)."""
+        collector = obs.get_collector()
+        if collector is None:
+            return
+        label = "%s/%s" % (trace.program.name,
+                           "elim" if machine_config.eliminate
+                           else "base")
+        collector.tracer.add("timing:%s" % label, seconds, hit=hit,
+                             workload=trace.program.name)
+        registry = collector.registry
+        registry.counter(
+            "repro_timing_total", "timing simulations by outcome",
+            result="hit" if hit else "miss").inc()
+        registry.histogram(
+            "repro_timing_seconds", "timing wall time").observe(seconds)
+        timeline_doc = getattr(result, "timeline", None)
+        if timeline_doc:
+            collector.add_timeline(key, label, trace.program.name,
+                                   timeline_doc,
+                                   result.stats.to_dict())
 
     def prefetch_simulations(
             self, items: Sequence[Tuple["object", MachineConfig]]
@@ -513,13 +586,23 @@ class Engine:
                           stage_salt("paths"))
         started = time.perf_counter()
         cached = self.cache.load("paths", key)
-        if isinstance(cached, PathInfo):
-            self.stats.add("paths", True, time.perf_counter() - started)
-            return cached
-        paths = compute_paths(run.trace, statics, path_bits=path_bits)
-        self.cache.store("paths", key, paths)
-        self.stats.add("paths", False, time.perf_counter() - started)
-        return paths
+        hit = isinstance(cached, PathInfo)
+        if not hit:
+            cached = compute_paths(run.trace, statics,
+                                   path_bits=path_bits)
+            self.cache.store("paths", key, cached)
+        seconds = time.perf_counter() - started
+        self.stats.add("paths", hit, seconds)
+        collector = obs.get_collector()
+        if collector is not None:
+            collector.tracer.add(
+                "stage:paths", seconds, hit=hit,
+                workload=run.trace.program.name)
+            collector.registry.counter(
+                "repro_stage_total", "stage executions by outcome",
+                stage="paths",
+                result="hit" if hit else "miss").inc()
+        return cached
 
     # -- bookkeeping --------------------------------------------------
 

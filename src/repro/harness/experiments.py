@@ -297,8 +297,9 @@ def f7_resources(scale: float = 1.0) -> ExperimentResult:
     """
     table = Table("Resource reductions, default machine (base -> elim)",
                   ["benchmark", "preg allocs", "preg frees", "RF reads",
-                   "RF writes", "D$ accesses", "eliminated%"])
-    sums = [0.0] * 5
+                   "RF writes", "D$ accesses", "D$ misses",
+                   "eliminated%"])
+    sums = [0.0] * 6
     data: Dict[str, object] = {}
     runs = suite_runs(scale)
     _prefetch_pairs(runs, default_config(),
@@ -312,6 +313,10 @@ def f7_resources(scale: float = 1.0) -> ExperimentResult:
             1 - se.rf_reads / max(sb.rf_reads, 1),
             1 - se.rf_writes / max(sb.rf_writes, 1),
             1 - se.dcache_accesses / max(sb.dcache_accesses, 1),
+            # A small workload can miss zero times in the baseline;
+            # report no reduction rather than a vacuous 100%.
+            1 - se.dcache_misses / sb.dcache_misses
+            if sb.dcache_misses else 0.0,
         )
         for index, value in enumerate(reductions):
             sums[index] += value

@@ -62,6 +62,10 @@ class RunRecorder:
     started_at: str = field(
         default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S"))
     experiments: List[Dict[str, object]] = field(default_factory=list)
+    #: observability summary for runs executed with telemetry on:
+    #: ``{"dir": ..., "spans": {name: {count, seconds}},
+    #: "artifacts": [...]}`` — see ``repro.obs`` and the ``obs`` CLI
+    obs: Optional[Dict[str, object]] = None
 
     def record(self, experiment_id: str, wall_s: float,
                stage_delta: Dict[str, Dict[str, object]],
@@ -83,7 +87,7 @@ class RunRecorder:
                 bucket["misses"] += counts.get("misses", 0)
                 bucket["seconds"] = round(
                     bucket["seconds"] + counts.get("seconds", 0.0), 3)
-        return {
+        document = {
             "schema": SCHEMA,
             "run_id": self.run_id,
             "started_at": self.started_at,
@@ -99,6 +103,9 @@ class RunRecorder:
                 "stages": totals_stages,
             },
         }
+        if self.obs:
+            document["obs"] = dict(self.obs)
+        return document
 
     def write(self, runs_root: str) -> str:
         """Persist the document; returns the path written."""

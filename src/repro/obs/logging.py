@@ -1,0 +1,90 @@
+"""Structured logging for the CLI entry points.
+
+Every ``repro`` entry point routes its diagnostics through one shared
+setup: leveled records on **stderr** (stdout stays reserved for
+experiment tables and JSON), level selected by the ``REPRO_LOG``
+environment variable (``debug`` | ``info`` | ``warn`` | ``error``,
+default ``warn``), and Python warnings captured into the same stream
+via ``logging.captureWarnings`` so environment noise (for example the
+conda/dotenv ``set_key`` deprecation chatter) is demoted to leveled
+log records instead of leaking raw onto the terminal — and known-noise
+patterns are dropped outright.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "setup_logging"]
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warn": logging.WARNING,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: Substrings of captured-warning messages that are pure environment
+#: noise (tool chatter with no bearing on the experiments) and are
+#: dropped rather than logged.
+NOISE_PATTERNS = ("set_key",)
+
+_CONFIGURED = False
+
+
+class _DropNoise(logging.Filter):
+    """Filter captured warnings whose message is known noise."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        message = record.getMessage()
+        return not any(pattern in message
+                       for pattern in NOISE_PATTERNS)
+
+
+def parse_level(text: Optional[str]) -> int:
+    """Map a ``REPRO_LOG`` value to a logging level (default WARNING)."""
+    if not text:
+        return logging.WARNING
+    return _LEVELS.get(text.strip().lower(), logging.WARNING)
+
+
+def setup_logging(level: Optional[int] = None,
+                  stream=None) -> logging.Logger:
+    """Configure the shared ``repro`` logger (idempotent).
+
+    *level* defaults to the ``REPRO_LOG`` environment variable; the
+    handler writes to *stream* (default ``sys.stderr``)."""
+    global _CONFIGURED
+    if level is None:
+        level = parse_level(os.environ.get("REPRO_LOG"))
+    root = logging.getLogger("repro")
+    if not _CONFIGURED:
+        handler = logging.StreamHandler(stream if stream is not None
+                                        else sys.stderr)
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)-5s %(name)s: %(message)s",
+            datefmt="%H:%M:%S"))
+        root.addHandler(handler)
+        root.propagate = False
+        # Route Python warnings (e.g. conda/dotenv `set_key` noise)
+        # through the same leveled stream, dropping known noise.
+        logging.captureWarnings(True)
+        warnings_logger = logging.getLogger("py.warnings")
+        warnings_logger.handlers = [handler]
+        warnings_logger.propagate = False
+        warnings_logger.addFilter(_DropNoise())
+        _CONFIGURED = True
+    root.setLevel(level)
+    logging.getLogger("py.warnings").setLevel(level)
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the shared ``repro`` logger."""
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger("repro.%s" % name)

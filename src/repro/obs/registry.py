@@ -1,0 +1,285 @@
+"""The metrics registry: counters, gauges, histograms, timers.
+
+Design constraint (ISSUE 3): instrumented code must cost *nothing
+measurable* when telemetry is off.  The disabled fast path therefore
+never allocates: a disabled :class:`MetricsRegistry` hands out the
+module-level null singletons (:data:`NULL_COUNTER` & friends) whose
+methods are empty, and ``registry.counter(...)`` itself builds no
+intermediate objects.  Hot loops should look up their metric once and
+call ``inc()``/``observe()`` on the cached handle.
+
+Metrics are named Prometheus-style (``repro_stage_seconds``) and may
+carry label sets (``stage="compile"``); :func:`render_prometheus`
+renders the whole registry in the text exposition format.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_REGISTRY",
+    "Timer",
+    "render_prometheus",
+]
+
+#: Default histogram bucket boundaries (seconds-flavoured, but generic).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                   60.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (occupancy, sizes)."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum and count (Prometheus shape)."""
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +Inf overflow
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative bucket counts (the ``le`` series)."""
+        out, running = [], 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+
+class Timer:
+    """Context manager feeding elapsed seconds into a histogram."""
+
+    __slots__ = ("histogram", "_started")
+
+    def __init__(self, histogram: Histogram):
+        self.histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.histogram.observe(perf_counter() - self._started)
+
+
+class _NullMetric:
+    """No-op stand-in for every metric type (and timer).
+
+    One shared immutable instance per role; every method is a no-op so
+    instrumented code pays only the method call when telemetry is off.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullMetric":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+NULL_COUNTER = _NullMetric()
+NULL_GAUGE = NULL_COUNTER
+NULL_HISTOGRAM = NULL_COUNTER
+NULL_TIMER = NULL_COUNTER
+
+_LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, object]) -> _LabelKey:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+class MetricsRegistry:
+    """Named metrics with optional label sets.
+
+    ``enabled=False`` turns every accessor into a constant returning
+    the null singletons — the zero-allocation disabled path.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: Dict[_LabelKey, object] = {}
+        self._help: Dict[str, str] = {}
+
+    # -- accessors ----------------------------------------------------
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        return self._get(name, help, labels, Counter)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE  # type: ignore[return-value]
+        return self._get(name, help, labels, Gauge)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        if buckets is None:
+            return self._get(name, help, labels, Histogram)
+        return self._get(name, help, labels,
+                         lambda: Histogram(buckets))
+
+    def timer(self, name: str, help: str = "", **labels) -> Timer:
+        if not self.enabled:
+            return NULL_TIMER  # type: ignore[return-value]
+        return Timer(self.histogram(name, help, **labels))
+
+    def _get(self, name, help, labels, factory):
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+            if help:
+                self._help.setdefault(name, help)
+        return metric
+
+    # -- introspection ------------------------------------------------
+
+    def items(self) -> Iterable[Tuple[str, Dict[str, str], object]]:
+        """Yield ``(name, labels, metric)`` sorted by name/labels."""
+        for (name, labels), metric in sorted(
+                self._metrics.items(), key=lambda item: item[0]):
+            yield name, dict(labels), metric
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view of every metric (for JSON persistence)."""
+        out: List[Dict[str, object]] = []
+        for name, labels, metric in self.items():
+            entry: Dict[str, object] = {"name": name,
+                                        "kind": metric.kind,
+                                        "labels": labels}
+            if isinstance(metric, Histogram):
+                entry["sum"] = metric.total
+                entry["count"] = metric.count
+                entry["buckets"] = list(zip(metric.buckets,
+                                            metric.cumulative()))
+            else:
+                entry["value"] = metric.value
+            out.append(entry)
+        return {"metrics": out}
+
+
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join('%s="%s"' % (k, v.replace('"', r"\""))
+                     for k, v in sorted(labels.items()))
+    return "{%s}" % inner
+
+
+def _merged(labels: Dict[str, str], extra_key: str,
+            extra_value: str) -> Dict[str, str]:
+    merged = dict(labels)
+    merged[extra_key] = extra_value
+    return merged
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_header = set()
+    for name, labels, metric in registry.items():
+        if name not in seen_header:
+            seen_header.add(name)
+            help_text = registry._help.get(name)
+            if help_text:
+                lines.append("# HELP %s %s" % (name, help_text))
+            lines.append("# TYPE %s %s" % (name, metric.kind))
+        if isinstance(metric, Histogram):
+            cumulative = metric.cumulative()
+            for bound, count in zip(metric.buckets, cumulative):
+                lines.append("%s_bucket%s %d" % (
+                    name, _labels_text(_merged(labels, "le",
+                                               repr(bound))), count))
+            lines.append("%s_bucket%s %d" % (
+                name, _labels_text(_merged(labels, "le", "+Inf")),
+                metric.count))
+            lines.append("%s_sum%s %g" % (name, _labels_text(labels),
+                                          metric.total))
+            lines.append("%s_count%s %d" % (name, _labels_text(labels),
+                                            metric.count))
+        else:
+            value = metric.value
+            text = "%d" % value if isinstance(value, int) else \
+                "%g" % value
+            lines.append("%s%s %s" % (name, _labels_text(labels), text))
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,168 @@
+"""Rendering stored observability artifacts (the ``obs`` CLI).
+
+A run executed with ``--obs`` leaves, next to its metadata document::
+
+    <cache>/runs/run-<id>.json          # runmeta (has an "obs" section)
+    <cache>/runs/obs-<id>/spans.jsonl   # hierarchical span trace
+    <cache>/runs/obs-<id>/timelines.json
+    <cache>/runs/obs-<id>/predictors.json
+    <cache>/runs/obs-<id>/metrics.prom  # Prometheus text exposition
+    <cache>/runs/obs-<id>/profile-<EXP>.pstats   # with --profile
+
+This module resolves run ids (exact, unique prefix, or ``last``),
+loads those artifacts, and renders the ``obs report`` / ``timeline`` /
+``hotspots`` / ``export`` views.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.obs.introspect import render_hotspots
+from repro.obs.spans import load_spans, render_span_tree
+from repro.obs.timeline import render_timeline
+
+__all__ = [
+    "load_obs",
+    "obs_dir_for",
+    "render_report",
+    "render_timelines",
+    "resolve_run",
+]
+
+
+def obs_dir_for(runs_root: str, run_id: str) -> str:
+    return os.path.join(runs_root, "obs-%s" % run_id)
+
+
+def resolve_run(runs_root: str,
+                token: str = "last") -> Optional[Dict[str, object]]:
+    """The run document matching *token*: ``last`` (newest run with
+    observability artifacts, else newest overall), an exact run id, or
+    a unique run-id prefix.  None when nothing matches."""
+    from repro.harness.runmeta import load_runs
+
+    documents = load_runs(runs_root)
+    if not documents:
+        return None
+    if token in ("", "last"):
+        observed = [doc for doc in documents if doc.get("obs")]
+        return (observed or documents)[-1]
+    matches = [doc for doc in documents
+               if str(doc.get("run_id", "")).startswith(token)]
+    exact = [doc for doc in matches if doc.get("run_id") == token]
+    if exact:
+        return exact[0]
+    if len(matches) == 1:
+        return matches[0]
+    return None
+
+
+def load_obs(runs_root: str,
+             run_doc: Dict[str, object]) -> Dict[str, object]:
+    """Every stored artifact of one run (empty lists when absent)."""
+    run_id = str(run_doc.get("run_id", ""))
+    obs_dir = obs_dir_for(runs_root, run_id)
+    out: Dict[str, object] = {"dir": obs_dir, "spans": [],
+                              "timelines": [], "probes": [],
+                              "metrics": "", "profiles": []}
+
+    def read(name: str) -> Optional[str]:
+        try:
+            with open(os.path.join(obs_dir, name)) as stream:
+                return stream.read()
+        except OSError:
+            return None
+
+    text = read("spans.jsonl")
+    if text:
+        out["spans"] = load_spans(text)
+    text = read("timelines.json")
+    if text:
+        try:
+            out["timelines"] = json.loads(text).get("timelines", [])
+        except ValueError:
+            pass
+    text = read("predictors.json")
+    if text:
+        try:
+            out["probes"] = json.loads(text).get("probes", [])
+        except ValueError:
+            pass
+    out["metrics"] = read("metrics.prom") or ""
+    if os.path.isdir(obs_dir):
+        out["profiles"] = sorted(
+            os.path.join(obs_dir, name)
+            for name in os.listdir(obs_dir)
+            if name.startswith("profile-") and name.endswith(".pstats"))
+    return out
+
+
+def render_timelines(obs: Dict[str, object],
+                     label: Optional[str] = None,
+                     limit: Optional[int] = None,
+                     width: int = 64) -> str:
+    """Render stored timelines, optionally filtered by label substring."""
+    docs: List[Dict[str, object]] = list(obs.get("timelines", []))
+    if label:
+        docs = [doc for doc in docs
+                if label in str(doc.get("label", ""))]
+    if not docs:
+        return "no pipeline timelines recorded" + (
+            " for label %r" % label if label else "")
+    shown = docs if limit is None else docs[:limit]
+    parts = [render_timeline(doc["timeline"],
+                             label=str(doc.get("label", "?")),
+                             width=width)
+             for doc in shown]
+    if limit is not None and len(docs) > limit:
+        parts.append("... %d more timeline%s (use `obs timeline` to "
+                     "list all)" % (len(docs) - limit,
+                                    "" if len(docs) - limit == 1
+                                    else "s"))
+    return "\n\n".join(parts)
+
+
+def render_report(run_doc: Dict[str, object],
+                  obs: Dict[str, object],
+                  top: int = 10) -> str:
+    """The combined ``obs report`` view for one run."""
+    lines: List[str] = []
+    run_id = run_doc.get("run_id", "?")
+    totals = run_doc.get("totals", {})
+    experiments = [record.get("id", "?")
+                   for record in run_doc.get("experiments", [])]
+    lines.append("== observability report: run %s ==" % run_id)
+    lines.append("started %s  experiments %s  wall %.1fs" % (
+        run_doc.get("started_at", "?"),
+        ",".join(experiments) or "-",
+        totals.get("wall_s", 0.0)))
+    if not run_doc.get("obs"):
+        lines.append("")
+        lines.append("this run recorded no observability artifacts "
+                     "(re-run with --obs)")
+        return "\n".join(lines)
+
+    lines.append("")
+    lines.append("-- spans (slowest first) --")
+    lines.append(render_span_tree(obs.get("spans", [])))
+
+    lines.append("")
+    lines.append("-- pipeline timelines --")
+    lines.append(render_timelines(obs, limit=4))
+
+    lines.append("")
+    lines.append("-- predictor hotspots (top %d mispredicted PCs) --"
+                 % top)
+    lines.append(render_hotspots(obs.get("probes", []), top=top))
+
+    profiles = obs.get("profiles", [])
+    if profiles:
+        lines.append("")
+        lines.append("-- stored profiles --")
+        for path in profiles:
+            lines.append("  %s  (python -m pstats %s)" %
+                         (os.path.basename(path), path))
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Hierarchical span tracing for the harness.
+
+A span is one timed unit of work (a whole run, one experiment, one
+engine stage execution, one cell) with a name, wall-clock duration,
+a parent, and free-form attributes (cache hit/miss, workload, config).
+The tracer keeps an explicit stack, so ``with tracer.span(...)`` nests
+naturally, and engine stages that were timed elsewhere (pool workers,
+cached loads) can be attached after the fact with :meth:`SpanTracer.add`.
+
+Spans serialize to JSONL (one object per line, ``spans.jsonl`` in the
+run's observability directory) and render as an indented tree with the
+slowest spans visible at a glance.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Span", "SpanTracer"]
+
+
+class Span:
+    """One traced unit of work."""
+
+    __slots__ = ("span_id", "parent_id", "name", "started_at",
+                 "seconds", "attrs")
+
+    def __init__(self, span_id: int, parent_id: Optional[int],
+                 name: str, started_at: float, seconds: float,
+                 attrs: Dict[str, object]):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.started_at = started_at
+        self.seconds = seconds
+        self.attrs = attrs
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "started_at": round(self.started_at, 6),
+            "seconds": round(self.seconds, 6),
+            "attrs": self.attrs,
+        }
+
+
+class SpanTracer:
+    """Collects a tree of spans for one harness invocation."""
+
+    def __init__(self):
+        self.spans: List[Span] = []
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    # -- recording ----------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a nested span around a block of work."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        record = Span(span_id, parent, name, time.time(), 0.0,
+                      dict(attrs))
+        self.spans.append(record)
+        self._stack.append(span_id)
+        started = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.seconds = time.perf_counter() - started
+            self._stack.pop()
+
+    def add(self, name: str, seconds: float, **attrs) -> Span:
+        """Attach an already-timed span under the current parent."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        record = Span(span_id, parent, name,
+                      time.time() - seconds, seconds, dict(attrs))
+        self.spans.append(record)
+        return record
+
+    # -- output -------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "".join(json.dumps(span.to_dict(), sort_keys=True) + "\n"
+                       for span in self.spans)
+
+    def summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-name span counts and summed seconds (for run metadata)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for span in self.spans:
+            bucket = out.setdefault(span.name,
+                                    {"count": 0, "seconds": 0.0})
+            bucket["count"] += 1
+            bucket["seconds"] = round(bucket["seconds"] + span.seconds,
+                                      6)
+        return out
+
+
+def load_spans(jsonl_text: str) -> List[Dict[str, object]]:
+    """Parse a ``spans.jsonl`` document back into dictionaries."""
+    spans = []
+    for line in jsonl_text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            spans.append(json.loads(line))
+        except ValueError:
+            continue
+    return spans
+
+
+def render_span_tree(spans: List[Dict[str, object]],
+                     max_children: int = 12) -> str:
+    """Indented tree of span dicts (slowest siblings first)."""
+    if not spans:
+        return "no spans recorded"
+    children: Dict[Optional[int], List[Dict[str, object]]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent_id"), []).append(span)
+
+    lines: List[str] = []
+
+    def walk(parent: Optional[int], depth: int) -> None:
+        siblings = sorted(children.get(parent, []),
+                          key=lambda s: -s.get("seconds", 0.0))
+        for index, span in enumerate(siblings):
+            if index == max_children:
+                lines.append("%s... (%d more)" %
+                             ("  " * depth, len(siblings) - index))
+                break
+            attrs = span.get("attrs") or {}
+            notes = []
+            if "hit" in attrs:
+                notes.append("hit" if attrs["hit"] else "miss")
+            for key in ("id", "cell", "workload", "stage"):
+                if key in attrs:
+                    notes.append(str(attrs[key]))
+            lines.append("%s%-24s %8.3fs%s" % (
+                "  " * depth, span.get("name", "?"),
+                span.get("seconds", 0.0),
+                ("  [%s]" % ", ".join(notes)) if notes else ""))
+            walk(span.get("span_id"), depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Cycle-sampled pipeline timelines in bounded memory.
+
+The simulator records one sample every ``interval`` cycles: structure
+occupancies (ROB / IQ / LSQ / fetch buffer), the bandwidth achieved in
+the sampled cycle (renamed / issued / committed), and the cumulative
+progress counters (instructions committed and eliminated, recoveries,
+instructions fetched) whose between-sample deltas give windowed rates.
+
+Memory is bounded by *decimating ring compaction*: when the buffer
+reaches ``capacity`` samples, every other sample is dropped in place
+and the sampling interval doubles.  The timeline therefore always
+spans the whole run at the finest resolution the budget allows, and —
+because compaction depends only on the sample count — the produced
+samples are a pure function of the instruction stream and the
+configuration: the same trace and config always yield an identical
+timeline (the determinism the regression tests pin).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["COLUMNS", "Timeline", "render_timeline"]
+
+#: Sample record layout (one list per column, parallel indices).
+COLUMNS = ("cycle", "rob", "iq", "lsq", "fetchq",
+           "renamed", "issued", "committed",
+           "total_committed", "total_eliminated",
+           "total_recoveries", "total_fetched")
+
+
+class Timeline:
+    """One run's sampled pipeline timeline (see module docstring)."""
+
+    __slots__ = ("interval", "capacity", "next_due", "columns")
+
+    def __init__(self, interval: int = 512, capacity: int = 512):
+        if interval <= 0 or capacity < 2:
+            raise ValueError("interval must be >0 and capacity >=2")
+        self.interval = interval
+        self.capacity = capacity
+        self.next_due = 0
+        self.columns: Dict[str, List[int]] = {name: []
+                                              for name in COLUMNS}
+
+    def __len__(self) -> int:
+        return len(self.columns["cycle"])
+
+    def record(self, *values: int) -> None:
+        """Append one sample (values in :data:`COLUMNS` order)."""
+        for name, value in zip(COLUMNS, values):
+            self.columns[name].append(value)
+        self.next_due += self.interval
+        if len(self.columns["cycle"]) >= self.capacity:
+            self._decimate()
+
+    def _decimate(self) -> None:
+        for name, values in self.columns.items():
+            self.columns[name] = values[::2]
+        self.interval *= 2
+        # Re-anchor on the sampling grid of the doubled interval.
+        self.next_due = self.columns["cycle"][-1] + self.interval
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (picklable / JSON-serializable)."""
+        return {
+            "interval": self.interval,
+            "samples": len(self),
+            "columns": {name: list(values)
+                        for name, values in self.columns.items()},
+        }
+
+
+def _sparkline(values: Sequence[float], peak: float) -> str:
+    blocks = " .:-=+*#%@"
+    if peak <= 0:
+        return " " * len(values)
+    out = []
+    for value in values:
+        level = int((len(blocks) - 1) * min(value, peak) / peak + 0.5)
+        out.append(blocks[level])
+    return "".join(out)
+
+
+def _rebin(values: Sequence[int], width: int,
+           reduce_max: bool = True) -> List[float]:
+    """Squeeze a sample series into *width* character cells."""
+    if not values:
+        return []
+    if len(values) <= width:
+        return [float(v) for v in values]
+    out = []
+    for cell in range(width):
+        lo = cell * len(values) // width
+        hi = max((cell + 1) * len(values) // width, lo + 1)
+        chunk = values[lo:hi]
+        out.append(float(max(chunk) if reduce_max
+                         else sum(chunk) / len(chunk)))
+    return out
+
+
+def render_timeline(doc: Dict[str, object], label: str = "",
+                    width: int = 64) -> str:
+    """ASCII view of one timeline document (``Timeline.to_dict()``)."""
+    columns = doc["columns"]
+    cycles = columns["cycle"]
+    if not cycles:
+        return "%s: empty timeline" % (label or "timeline")
+    lines = []
+    header = "%s  (%d samples, every %d cycles, %d total cycles)" % (
+        label or "timeline", doc["samples"], doc["interval"],
+        cycles[-1])
+    lines.append(header)
+    for name in ("rob", "iq", "lsq", "fetchq", "issued", "committed"):
+        series = columns[name]
+        peak = max(series) if series else 0
+        lines.append("  %-9s peak %5d  |%s|" % (
+            name, peak, _sparkline(_rebin(series, width), peak)))
+    # Recovery bursts: per-window deltas of the cumulative counter.
+    recoveries = columns["total_recoveries"]
+    deltas = [recoveries[0]] + [recoveries[i] - recoveries[i - 1]
+                                for i in range(1, len(recoveries))]
+    peak = max(deltas) if deltas else 0
+    lines.append("  %-9s peak %5d  |%s|" % (
+        "recov/win", peak, _sparkline(_rebin(deltas, width), peak)))
+    eliminated = columns["total_eliminated"][-1]
+    committed = columns["total_committed"][-1]
+    lines.append("  committed %d  eliminated %d  recoveries %d" % (
+        committed, eliminated, recoveries[-1]))
+    return "\n".join(lines)

@@ -41,12 +41,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.liveness import DeadnessAnalysis, analyze_deadness
 from repro.analysis.statics import StaticTable
 from repro.emulator.trace import Trace
 from repro.isa.instructions import Opcode
+from repro.obs import new_timeline
 from repro.pipeline.cache import build_hierarchy
 from repro.pipeline.config import MachineConfig, default_config
 from repro.pipeline.elimination import EliminationEngine
@@ -116,6 +117,10 @@ class PipelineResult:
     stats: PipelineStats
     l1d_misses: int = 0
     l2_misses: int = 0
+    #: cycle-sampled pipeline timeline (``Timeline.to_dict()``) when
+    #: telemetry was enabled for the run, else None.  Plain data so the
+    #: cached artifact carries its telemetry across reloads.
+    timeline: Optional[Dict[str, object]] = None
 
 
 def _classify_fu(statics: StaticTable) -> List[int]:
@@ -186,6 +191,9 @@ class Simulator:
         self._mispredict, self._ends_group = _control_flags(
             trace, self.statics, self.config)
         self._fu_class = _classify_fu(self.statics)
+        #: cycle-sampled telemetry; None (the default) costs one
+        #: ``is not None`` test per cycle in the main loop.
+        self.timeline = new_timeline()
         config = self.config
         self._latency = [config.alu_latency, config.mul_latency,
                          config.div_latency, config.agen_latency,
@@ -217,6 +225,7 @@ class Simulator:
         elim = self.elimination
         train_stores = config.eliminate_stores
         use_replay = config.recovery_mode == "replay"
+        timeline = self.timeline
 
         # Rename state: merged physical register file.
         rat: List[object] = list(range(_NUM_ARCH))
@@ -517,6 +526,12 @@ class Simulator:
                     if ends_group[tidx]:
                         break
 
+            if timeline is not None and cycle >= timeline.next_due:
+                timeline.record(cycle, len(rob), len(iq), lsq_used,
+                                len(fetch_queue), renamed, issued,
+                                commits, committed, stats.eliminated,
+                                stats.reader_recoveries
+                                + stats.timeout_recoveries, fetch_idx)
             cycle += 1
 
         stats.committed = committed
@@ -527,6 +542,14 @@ class Simulator:
         result.l1d_misses = self.l1d.stats.misses
         if self.l1d.parent is not None:
             result.l2_misses = self.l1d.parent.stats.misses
+        if timeline is not None:
+            # A closing sample so the timeline always reaches the end
+            # of the run, whatever the sampling grid.
+            timeline.record(stats.cycles - 1, len(rob), len(iq),
+                            lsq_used, len(fetch_queue), 0, 0, 0,
+                            committed, stats.eliminated,
+                            stats.recoveries, fetch_idx)
+            result.timeline = timeline.to_dict()
         return result
 
     # ------------------------------------------------------------------

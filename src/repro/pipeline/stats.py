@@ -9,7 +9,7 @@ extra traffic in the elimination configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 
 @dataclass
@@ -53,6 +53,12 @@ class PipelineStats:
         if self.cycles == 0:
             return 0.0
         return self.committed / self.cycles
+
+    def to_dict(self) -> dict:
+        """Every counter plus the derived IPC (observability export)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["ipc"] = round(self.ipc, 4)
+        return out
 
     def summary(self) -> str:
         return ("cycles=%d committed=%d ipc=%.3f allocs=%d frees=%d "

@@ -60,9 +60,15 @@ class DeadPredictor:
     *actual* resolved path (as available at commit).  ``index`` is the
     dynamic instruction number; hardware predictors ignore it (only the
     oracle uses it).
+
+    ``probe`` is an optional :class:`repro.obs.introspect.PredictorProbe`
+    the table designs feed churn events (allocations, evictions) when
+    attached; it stays ``None`` outside observed evaluations, so the
+    hot path pays one ``is not None`` test on allocation only.
     """
 
     name = "abstract"
+    probe = None
 
     def predict(self, pc: int, predicted_path: int, index: int) -> bool:
         raise NotImplementedError

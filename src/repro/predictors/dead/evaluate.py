@@ -12,6 +12,7 @@ steady-state accuracy/coverage it is irrelevant.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.analysis.liveness import DeadnessAnalysis
 from repro.predictors.dead.base import DeadPredictionStats, DeadPredictor
 from repro.predictors.dead.paths import PathInfo, compute_paths
@@ -20,12 +21,18 @@ from repro.predictors.dead.paths import PathInfo, compute_paths
 def evaluate_predictor(analysis: DeadnessAnalysis,
                        predictor: DeadPredictor,
                        paths: PathInfo = None,
-                       stats: DeadPredictionStats = None
-                       ) -> DeadPredictionStats:
+                       stats: DeadPredictionStats = None,
+                       probe=None) -> DeadPredictionStats:
     """Run *predictor* over one labelled trace; return its statistics.
 
     Pass an existing *stats* object to accumulate across workloads
     (the paper reports suite-wide accuracy/coverage).
+
+    *probe* is an optional
+    :class:`~repro.obs.introspect.PredictorProbe` that additionally
+    records per-PC confusion counts and table churn; when telemetry is
+    on (``repro.obs``) a probe is created automatically and the
+    finished walk is registered with the active collector.
     """
     trace = analysis.trace
     statics = analysis.statics
@@ -33,6 +40,10 @@ def evaluate_predictor(analysis: DeadnessAnalysis,
         paths = compute_paths(trace, statics)
     if stats is None:
         stats = DeadPredictionStats()
+    if probe is None:
+        probe = obs.new_probe()
+    if probe is not None:
+        predictor.probe = probe
 
     pcs = trace.pcs
     taken = trace.taken
@@ -45,6 +56,7 @@ def evaluate_predictor(analysis: DeadnessAnalysis,
     predict = predictor.predict
     train = predictor.train
     record = stats.record
+    record_probe = probe.record if probe is not None else None
     # History-based designs consume resolved branch outcomes as the
     # walk passes each conditional branch.
     note_branch = getattr(predictor, "note_branch", None)
@@ -55,8 +67,17 @@ def evaluate_predictor(analysis: DeadnessAnalysis,
         if eligible[si]:
             prediction = predict(pc, predicted_paths[i], i)
             record(prediction, dead[i])
+            if record_probe is not None:
+                record_probe(pc, prediction, dead[i])
             train(pc, dead[i], actual_paths[i], i)
         elif note_branch is not None and is_cond[si]:
             note_branch(taken[i])
+
+    if probe is not None:
+        predictor.probe = None
+        collector = obs.get_collector()
+        if collector is not None:
+            collector.add_probe(trace.program.name, predictor.name,
+                                probe, predictor)
 
     return stats

@@ -82,6 +82,11 @@ class PathDeadPredictor(DeadPredictor):
         slot, tag = self._slot(pc, actual_path)
         if self.tags[slot] != tag:
             if dead:
+                probe = self.probe
+                if probe is not None:
+                    probe.note_alloc()
+                    if self.tags[slot] != -1:
+                        probe.note_eviction()
                 self.tags[slot] = tag
                 self.confs[slot] = 1
             return
@@ -145,6 +150,11 @@ class SignatureDeadPredictor(DeadPredictor):
         path = actual_path & self._path_mask
         if self.tags[slot] != tag:
             if dead:
+                probe = self.probe
+                if probe is not None:
+                    probe.note_alloc()
+                    if self.tags[slot] != -1:
+                        probe.note_eviction()
                 self.tags[slot] = tag
                 self.sigs[slot] = path
                 self.confs[slot] = 1
@@ -205,6 +215,11 @@ class BimodalDeadPredictor(DeadPredictor):
         slot, tag = self._slot(pc)
         if self.tags[slot] != tag:
             if dead:
+                probe = self.probe
+                if probe is not None:
+                    probe.note_alloc()
+                    if self.tags[slot] != -1:
+                        probe.note_eviction()
                 self.tags[slot] = tag
                 self.confs[slot] = 1
             return
@@ -280,6 +295,11 @@ class HistoryDeadPredictor(DeadPredictor):
         slot, tag = self._slot(pc)
         if self.tags[slot] != tag:
             if dead:
+                probe = self.probe
+                if probe is not None:
+                    probe.note_alloc()
+                    if self.tags[slot] != -1:
+                        probe.note_eviction()
                 self.tags[slot] = tag
                 self.confs[slot] = 1
             return
