@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Tuple
 
+from repro import kernels
 from repro.analysis.liveness import DeadnessAnalysis
 
 
@@ -81,19 +82,21 @@ class StaticClassification:
 
 
 def classify_statics(analysis: DeadnessAnalysis) -> StaticClassification:
-    """Aggregate per-instance deadness labels up to static instructions."""
-    trace = analysis.trace
-    statics = analysis.statics
-    dead = analysis.dead
-    pcs = trace.pcs
+    """Aggregate per-instance deadness labels up to static instructions.
 
-    totals: Dict[int, int] = {}
-    deads: Dict[int, int] = {}
-    for i in range(len(pcs)):
-        si = pcs[i] >> 2
-        totals[si] = totals.get(si, 0) + 1
-        if dead[i]:
-            deads[si] = deads.get(si, 0) + 1
+    The per-static instance counters come from the fused backward pass
+    when available (``analysis.fused``, no extra trace walk); analyses
+    reconstructed from cached labels run the static-counts kernel.
+    """
+    statics = analysis.statics
+    fused = getattr(analysis, "fused", None)
+    if fused is not None:
+        tallies = fused.counts
+    else:
+        decoded = kernels.decode(analysis.trace, statics)
+        tallies = kernels.get_backend().static_counts(decoded, analysis.dead)
+    totals = tallies.totals
+    deads = tallies.deads
 
     counts: Dict[int, Tuple[int, int]] = {}
     classes: Dict[int, StaticClass] = {}

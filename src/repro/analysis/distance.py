@@ -24,8 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import kernels
 from repro.analysis.liveness import DeadnessAnalysis
-from repro.isa.registers import NUM_REGS
 
 
 @dataclass
@@ -57,30 +57,23 @@ class KillDistanceStats:
 
 
 def kill_distances(analysis: DeadnessAnalysis) -> KillDistanceStats:
-    """Measure the killer distance of every dead register write."""
-    trace = analysis.trace
-    statics = analysis.statics
-    pcs = trace.pcs
-    dead = analysis.dead
-    s_dest = statics.dest
-    provenance = statics.provenance
+    """Measure the killer distance of every dead register write.
 
-    stats = KillDistanceStats()
-    # Per architectural register: index of the pending *dead* write.
-    pending: List[Optional[int]] = [None] * NUM_REGS
-
-    for i in range(len(pcs)):
-        si = pcs[i] >> 2
-        dest = s_dest[si]
-        if not dest:
-            continue
-        previous = pending[dest]
-        if previous is not None:
-            distance = i - previous
-            stats.distances.append(distance)
-            tag = provenance[pcs[previous] >> 2] or "original"
-            stats.by_provenance.setdefault(tag, []).append(distance)
-        pending[dest] = i if dead[i] else None
-
-    stats.unkilled = sum(1 for entry in pending if entry is not None)
-    return stats
+    Freshly analyzed traces carry the kill columns from the fused
+    backward pass (``analysis.fused``) and pay nothing here; analyses
+    reconstructed from cached labels run the standalone kill-distance
+    kernel.  Either way distances come back in canonical victim order
+    (ascending dynamic index of the dead write).
+    """
+    fused = getattr(analysis, "fused", None)
+    if fused is not None:
+        kills = fused.kills
+    else:
+        decoded = kernels.decode(analysis.trace, analysis.statics)
+        kills = kernels.get_backend().kill_distances(decoded, analysis.dead)
+    # Copy: callers may mutate their stats; the fused columns are shared.
+    return KillDistanceStats(
+        distances=list(kills.distances),
+        unkilled=kills.unkilled,
+        by_provenance={tag: list(values)
+                       for tag, values in kills.by_provenance.items()})

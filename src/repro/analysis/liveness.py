@@ -26,16 +26,25 @@ The implementation is a single backward pass over the trace, O(dynamic
 instructions), using per-register liveness flags and a word-granular
 memory liveness map.  Because consumers appear after producers in the
 trace, one backward pass computes transitive deadness exactly.
+
+The pass itself lives in the kernel layer (:mod:`repro.kernels` — the
+``python`` backend is the reference implementation, the ``batched``
+backend the bulk-operation one) and runs *fused*: kill distances and
+per-static instance counters are computed in the same backward walk, so
+:func:`~repro.analysis.distance.kill_distances` and
+:func:`~repro.analysis.classify.classify_statics` on a freshly analyzed
+trace cost no extra pass.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List, Optional
 
+from repro import kernels
 from repro.analysis.statics import StaticTable
 from repro.emulator.trace import Trace
-from repro.isa.registers import NUM_REGS
+from repro.kernels.base import FusedColumns
 
 
 @dataclass
@@ -55,6 +64,13 @@ class DeadnessAnalysis:
     n_direct: int = 0
     n_transitive: int = 0
     n_dead_stores: int = 0
+
+    #: Extra columns from the fused backward pass (kill distances,
+    #: per-static counters); present on freshly analyzed traces, absent
+    #: on analyses reconstructed from cached deadness labels (consumers
+    #: fall back to the granular kernels).
+    fused: Optional[FusedColumns] = field(
+        default=None, compare=False, repr=False)
 
     @property
     def dead_fraction(self) -> float:
@@ -90,133 +106,18 @@ def analyze_deadness(trace: Trace, statics: StaticTable = None,
     if statics is None:
         statics = StaticTable(trace.program)
 
-    pcs = trace.pcs
-    addrs = trace.addrs
-    n = len(pcs)
-
-    s_dest = statics.dest
-    s_src1 = statics.src1
-    s_src2 = statics.src2
-    s_side = statics.side_effect
-    s_load = statics.is_load
-    s_store = statics.is_store
-    s_byte = statics.is_byte
-    s_eligible = statics.eligible
-
-    dead = [False] * n
-    direct = [False] * n
-
-    # Backward state.  reg_live[r]: will the value currently in r be
-    # read by a useful instruction later in the program?  reg_touched[r]:
-    # will it be read by *any* instruction (useful or dead)?  End of
-    # program: conservatively live, hence unread values stay "live".
-    reg_live = [True] * NUM_REGS
-    reg_touched = [False] * NUM_REGS
-    mem_live: Dict[int, bool] = {}
-    mem_touched: Dict[int, bool] = {}
-
-    n_dead = n_direct = n_dead_stores = n_eligible = 0
-
-    for i in range(n - 1, -1, -1):
-        si = pcs[i] >> 2
-        dest = s_dest[si]
-        is_store = s_store[si]
-
-        if dest:
-            n_eligible += s_eligible[si]
-            value_live = reg_live[dest]
-            value_touched = reg_touched[dest]
-            useful = value_live or s_side[si]
-            # This write supersedes the previous one: reset state for
-            # the *previous* writer's value (which instructions between
-            # it and here may yet read, going further backward).
-            reg_live[dest] = False
-            reg_touched[dest] = False
-            if not useful:
-                dead[i] = True
-                n_dead += 1
-                if not value_touched:
-                    direct[i] = True
-                    n_direct += 1
-                # A dead instruction contributes no uses: do not mark
-                # its sources live (transitive propagation), but its
-                # reads are still architectural reads for "touched".
-                src = s_src1[si]
-                if src > 0:
-                    reg_touched[src] = True
-                src = s_src2[si]
-                if src > 0:
-                    reg_touched[src] = True
-                if s_load[si] and not s_byte[si]:
-                    mem_touched[addrs[i] & ~3] = True
-                continue
-            # Useful value-producing instruction: mark sources live.
-            src = s_src1[si]
-            if src > 0:
-                reg_live[src] = True
-                reg_touched[src] = True
-            src = s_src2[si]
-            if src > 0:
-                reg_live[src] = True
-                reg_touched[src] = True
-            if s_load[si]:
-                word = addrs[i] & ~3
-                mem_live[word] = True
-                mem_touched[word] = True
-            continue
-
-        if is_store:
-            if track_stores and not s_byte[si]:
-                word = addrs[i] & ~3
-                store_live = mem_live.get(word, True)
-                store_touched = mem_touched.get(word, False)
-                mem_live[word] = False
-                mem_touched[word] = False
-                if not store_live:
-                    dead[i] = True
-                    n_dead += 1
-                    n_dead_stores += 1
-                    if not store_touched:
-                        direct[i] = True
-                        n_direct += 1
-                    src = s_src1[si]
-                    if src > 0:
-                        reg_touched[src] = True
-                    src = s_src2[si]
-                    if src > 0:
-                        reg_touched[src] = True
-                    continue
-            # Live store (or byte store, always conservative): both the
-            # address and the stored value are useful.
-            src = s_src1[si]
-            if src > 0:
-                reg_live[src] = True
-                reg_touched[src] = True
-            src = s_src2[si]
-            if src > 0:
-                reg_live[src] = True
-                reg_touched[src] = True
-            continue
-
-        # No destination, not a store: branches, jumps writing nothing,
-        # syscalls, halt, nop.  Side-effecting ones are usefulness
-        # roots; their sources are live.
-        src = s_src1[si]
-        if src > 0:
-            reg_live[src] = True
-            reg_touched[src] = True
-        src = s_src2[si]
-        if src > 0:
-            reg_live[src] = True
-            reg_touched[src] = True
+    decoded = kernels.decode(trace, statics)
+    fused = kernels.get_backend().fused(decoded, track_stores=track_stores)
+    columns = fused.deadness
 
     result = DeadnessAnalysis(trace=trace, statics=statics)
-    result.dead = dead
-    result.direct = direct
-    result.n_dynamic = n
-    result.n_eligible = n_eligible
-    result.n_dead = n_dead
-    result.n_direct = n_direct
-    result.n_transitive = n_dead - n_direct
-    result.n_dead_stores = n_dead_stores
+    result.dead = columns.dead
+    result.direct = columns.direct
+    result.n_dynamic = len(decoded)
+    result.n_eligible = columns.n_eligible
+    result.n_dead = columns.n_dead
+    result.n_direct = columns.n_direct
+    result.n_transitive = columns.n_dead - columns.n_direct
+    result.n_dead_stores = columns.n_dead_stores
+    result.fused = fused
     return result

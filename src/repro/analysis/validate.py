@@ -45,11 +45,15 @@ def replay_trace(trace: Trace,
     memory: Dict[int, int] = dict(program.data)
     output: List[object] = []
     op = Opcode
+    # One decode of the whole trace (the kernel layer's cached
+    # static-index column) instead of per-instruction pc arithmetic.
+    sidx = trace.static_indices()
+    instructions = program.instructions
 
     for i in range(len(trace)):
         if skip is not None and skip[i]:
             continue
-        instr = trace.instruction(i)
+        instr = instructions[sidx[i]]
         opcode = instr.opcode
         if opcode <= op.REM:
             a, b = regs[instr.rs1], regs[instr.rs2]

@@ -28,13 +28,15 @@ from repro.isa.program import Program, TEXT_BASE
 class Trace:
     """The committed dynamic instruction stream of one program run."""
 
-    __slots__ = ("program", "pcs", "taken", "addrs")
+    __slots__ = ("program", "pcs", "taken", "addrs", "_sidx")
 
     def __init__(self, program: Program):
         self.program = program
         self.pcs: List[int] = []
         self.taken: List[bool] = []
         self.addrs: List[int] = []
+        #: lazily decoded static-index column (see static_indices)
+        self._sidx: List[int] = []
 
     def __len__(self) -> int:
         return len(self.pcs)
@@ -44,8 +46,25 @@ class Trace:
         self.taken.append(taken)
         self.addrs.append(addr)
 
+    def static_indices(self) -> List[int]:
+        """The precomputed static-index column for the whole trace.
+
+        Decoded once by the kernel layer's decode kernel and cached;
+        every bulk pass (analysis kernels, the pipeline front end,
+        predictor paths) shares this column instead of re-deriving
+        ``(pc - TEXT_BASE) >> 2`` per instruction.  Recomputed if the
+        trace grew since the last decode.
+        """
+        if len(self._sidx) != len(self.pcs):
+            from repro import kernels
+            self._sidx = kernels.get_backend().static_indices(self)
+        return self._sidx
+
     def static_index(self, i: int) -> int:
         """Index into ``program.instructions`` of dynamic instruction *i*."""
+        sidx = self._sidx
+        if len(sidx) == len(self.pcs):
+            return sidx[i]
         return (self.pcs[i] - TEXT_BASE) >> 2
 
     def instruction(self, i: int) -> Instruction:

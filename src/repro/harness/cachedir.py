@@ -90,9 +90,9 @@ def code_salt(*subpackages: str) -> str:
 STAGE_CODE = {
     "compile": ("lang", "isa", "keys"),
     "trace": ("isa", "emulator", "workloads"),
-    "analysis": ("analysis",),
-    "paths": ("predictors",),
-    "timing": ("pipeline", "analysis", "keys"),
+    "analysis": ("analysis", "kernels"),
+    "paths": ("predictors", "kernels"),
+    "timing": ("pipeline", "analysis", "kernels", "keys"),
 }
 
 

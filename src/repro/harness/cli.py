@@ -62,13 +62,21 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         default=defaults.cell_timeout, metavar="SEC",
                         help="per-cell timeout in parallel mode "
                              "(default %g)" % defaults.cell_timeout)
+    from repro.kernels import available_backends
+
+    parser.add_argument("--backend", default=defaults.backend,
+                        choices=available_backends(), metavar="NAME",
+                        help="trace-kernel backend (%s; default: "
+                             "REPRO_BACKEND or 'python')"
+                             % ", ".join(available_backends()))
 
 
 def _engine_config(args: argparse.Namespace) -> EngineConfig:
     return EngineConfig(jobs=max(args.jobs, 1),
                         cache=not args.no_cache,
                         cache_dir=args.cache_dir,
-                        cell_timeout=args.cell_timeout)
+                        cell_timeout=args.cell_timeout,
+                        backend=args.backend)
 
 
 def _experiments_main(argv: List[str]) -> int:
@@ -294,8 +302,9 @@ def _obs_main(argv: List[str]) -> int:
 
     from repro.harness.cachedir import CacheDir
     from repro.obs.introspect import render_hotspots
-    from repro.obs.report import (load_obs, render_report,
-                                  render_timelines, resolve_run)
+    from repro.obs.report import (load_obs, render_kernel_passes,
+                                  render_report, render_timelines,
+                                  resolve_run)
 
     runs_root = CacheDir(args.cache_dir).runs_root
     run_doc = resolve_run(runs_root, args.run)
@@ -319,6 +328,9 @@ def _obs_main(argv: List[str]) -> int:
         print(render_timelines(obs, label=args.label))
     elif args.action == "hotspots":
         print(render_hotspots(obs.get("probes", []), top=args.top))
+        print()
+        print("-- kernel passes --")
+        print(render_kernel_passes(obs.get("spans", [])))
     else:  # export
         sys.stdout.write(obs.get("metrics", "") or
                          "# no metrics recorded\n")

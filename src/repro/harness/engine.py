@@ -42,11 +42,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro import obs
+from repro import kernels, obs
 from repro.analysis import DeadnessAnalysis, analyze_deadness
 from repro.analysis.statics import StaticTable
 from repro.emulator import Trace, run_program
 from repro.harness.cachedir import MISS, CacheDir, stable_hash, stage_salt
+from repro.kernels.base import (
+    DeadnessColumns,
+    FusedColumns,
+    KillColumns,
+    StaticCounts,
+)
 from repro.isa.assembler import assemble
 from repro.lang import CompilerOptions, compile_source
 from repro.pipeline import MachineConfig
@@ -88,18 +94,22 @@ class EngineConfig:
     cell_timeout: float = 600.0
     #: failed/timed-out pool cells are retried serially this many times
     retries: int = 1
+    #: kernel backend name ("" = env/default resolution, see
+    #: :mod:`repro.kernels`); salted into analysis/paths/timing keys
+    backend: str = ""
 
 
 def config_from_env() -> EngineConfig:
     """Engine defaults, overridable through environment variables
     (``REPRO_JOBS``, ``REPRO_CACHE=0``, ``REPRO_CACHE_DIR``,
-    ``REPRO_CELL_TIMEOUT``) so embeddings like pytest pick them up
-    without plumbing flags."""
+    ``REPRO_CELL_TIMEOUT``, ``REPRO_BACKEND``) so embeddings like
+    pytest pick them up without plumbing flags."""
     return EngineConfig(
         jobs=int(os.environ.get("REPRO_JOBS", "1")),
         cache=os.environ.get("REPRO_CACHE", "1") != "0",
         cache_dir=os.environ.get("REPRO_CACHE_DIR", ".repro-cache"),
         cell_timeout=float(os.environ.get("REPRO_CELL_TIMEOUT", "600")),
+        backend=os.environ.get("REPRO_BACKEND", ""),
     )
 
 
@@ -207,6 +217,11 @@ def _compute_cell_payload(spec: CellSpec,
     """Run one cell's compile → trace → analysis chain, using and
     populating the on-disk cache.  Top-level so pool workers can
     execute it; returns only plainly picklable data."""
+    if config.backend:
+        # Pool workers may be spawned (not forked): pin the kernel
+        # backend from the config so workers and parent always agree
+        # with the backend salt in the keys below.
+        kernels.set_default_backend(config.backend)
     cache = CacheDir(config.cache_dir) if config.cache else None
     workload = get_workload(spec.workload)
     source = workload.source(spec.scale)
@@ -254,15 +269,21 @@ def _compute_cell_payload(spec: CellSpec,
                        "seconds": time.perf_counter() - started}
 
     # -- analysis -----------------------------------------------------
+    # The backend fingerprint keeps entries produced under different
+    # kernel backends apart (contents are byte-identical by contract,
+    # but a backend bug must never masquerade as a cache hit).
     analysis_key = stable_hash("analysis", trace_key,
+                               kernels.backend_fingerprint(),
                                stage_salt("analysis"))
     started = time.perf_counter()
     entry = cache.load("analysis", analysis_key) if cache else MISS
-    hit = isinstance(entry, dict) and len(entry.get("dead", b"")) == \
-        len(pcs)
+    hit = (isinstance(entry, dict)
+           and len(entry.get("dead", b"")) == len(pcs)
+           and "fused" in entry)
     if hit:
         dead_blob, direct_blob = entry["dead"], entry["direct"]
         counts = entry["counts"]
+        fused_doc = entry["fused"]
     else:
         trace = Trace(program)
         trace.pcs, trace.taken, trace.addrs = pcs, taken, addrs
@@ -277,10 +298,11 @@ def _compute_cell_payload(spec: CellSpec,
             "n_transitive": analysis.n_transitive,
             "n_dead_stores": analysis.n_dead_stores,
         }
+        fused_doc = _fused_to_doc(analysis.fused)
         if cache:
             cache.store("analysis", analysis_key,
                         {"dead": dead_blob, "direct": direct_blob,
-                         "counts": counts})
+                         "counts": counts, "fused": fused_doc})
     stages["analysis"] = {"hit": hit,
                           "seconds": time.perf_counter() - started}
 
@@ -291,8 +313,36 @@ def _compute_cell_payload(spec: CellSpec,
         "asm": asm,
         "pcs": pcs, "taken": taken, "addrs": addrs, "output": output,
         "dead": dead_blob, "direct": direct_blob, "counts": counts,
+        "fused": fused_doc,
         "stages": stages,
     }
+
+
+def _fused_to_doc(fused: FusedColumns) -> Dict[str, object]:
+    """The fused pass's extra columns as plain picklable data (the
+    deadness columns already travel as blobs + counts)."""
+    return {
+        "distances": fused.kills.distances,
+        "unkilled": fused.kills.unkilled,
+        "by_provenance": fused.kills.by_provenance,
+        "totals": fused.counts.totals,
+        "deads": fused.counts.deads,
+    }
+
+
+def _doc_to_fused(doc: Dict[str, object], dead: List[bool],
+                  direct: List[bool],
+                  counts: Dict[str, int]) -> FusedColumns:
+    return FusedColumns(
+        deadness=DeadnessColumns(
+            dead=dead, direct=direct,
+            n_eligible=counts["n_eligible"], n_dead=counts["n_dead"],
+            n_direct=counts["n_direct"],
+            n_dead_stores=counts["n_dead_stores"]),
+        kills=KillColumns(
+            distances=doc["distances"], unkilled=doc["unkilled"],
+            by_provenance=doc["by_provenance"]),
+        counts=StaticCounts(totals=doc["totals"], deads=doc["deads"]))
 
 
 def _payload_to_artifact(spec: CellSpec,
@@ -307,10 +357,11 @@ def _payload_to_artifact(spec: CellSpec,
     trace.addrs = payload["addrs"]
     statics = StaticTable(program)
     counts = payload["counts"]
+    dead = _bytes_to_bools(payload["dead"])
+    direct = _bytes_to_bools(payload["direct"])
     analysis = DeadnessAnalysis(
-        trace=trace, statics=statics,
-        dead=_bytes_to_bools(payload["dead"]),
-        direct=_bytes_to_bools(payload["direct"]),
+        trace=trace, statics=statics, dead=dead, direct=direct,
+        fused=_doc_to_fused(payload["fused"], dead, direct, counts),
         **counts)
     return CellArtifact(
         spec=spec, trace=trace, analysis=analysis,
@@ -332,7 +383,8 @@ def _simulate_key(trace_key: str, machine_config: MachineConfig,
                   analysis: Optional[DeadnessAnalysis]) -> str:
     fingerprint = _analysis_fingerprint(analysis) if analysis else "-"
     parts = ["timing", trace_key, machine_config.to_key(),
-             fingerprint, stage_salt("timing")]
+             fingerprint, kernels.backend_fingerprint(),
+             stage_salt("timing")]
     # Observed simulations carry their timeline inside the cached
     # result; keep them apart from plain entries (and from other
     # sampling configurations).
@@ -380,6 +432,8 @@ class Engine:
 
     def __init__(self, config: Optional[EngineConfig] = None):
         self.config = config if config is not None else config_from_env()
+        if self.config.backend:
+            kernels.set_default_backend(self.config.backend)
         self.cache: Optional[CacheDir] = (
             CacheDir(self.config.cache_dir) if self.config.cache
             else None)
@@ -583,6 +637,7 @@ class Engine:
             return compute_paths(run.trace, statics,
                                  path_bits=path_bits)
         key = stable_hash("paths", trace_key, str(path_bits),
+                          kernels.backend_fingerprint(),
                           stage_salt("paths"))
         started = time.perf_counter()
         cached = self.cache.load("paths", key)
@@ -617,6 +672,7 @@ class Engine:
             "cache": self.config.cache,
             "cache_dir": os.path.abspath(self.config.cache_dir),
             "cell_timeout": self.config.cell_timeout,
+            "backend": kernels.default_backend_name(),
         }
 
 

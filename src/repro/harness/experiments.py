@@ -10,20 +10,22 @@ come from :func:`~repro.harness.runs.suite_runs` (cached compile /
 trace / analysis stages) and every timing simulation and future-path
 precomputation runs through the engine's cached stages, so a hot-cache
 rerun of any experiment reuses all of its expensive work while
-producing bit-identical tables.  The ``_prefetch_pairs`` helper warms
-the timing stage for a whole (runs × configs) cross-product in
-parallel before the serial result loops read it back in deterministic
-order.
+producing bit-identical tables.  Sweeps (predictor geometries, machine
+variants) go through :class:`~repro.harness.sweep.SweepExecutor`: one
+decoded trace, one per-PC prediction event stream, and one future-path
+view per trace are shared across all sweep points, and the timing
+cross-product is prefetched in parallel before the serial result loops
+read it back in deterministic order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
 from repro.analysis import classify_statics, locality_stats
-from repro.harness.engine import get_engine
-from repro.harness.runs import SuiteRun, suite_runs
+from repro.harness.runs import suite_runs
+from repro.harness.sweep import SweepExecutor, elim_variant
 from repro.harness.tables import Table, percent, signed_percent
 from repro.pipeline import (
     MachineConfig,
@@ -180,19 +182,6 @@ def f4_locality(scale: float = 1.0) -> ExperimentResult:
 # ---------------------------------------------------------------------
 
 
-def _suite_predictor_stats(runs: List[SuiteRun], make_predictor,
-                           path_bits: int) -> DeadPredictionStats:
-    """Aggregate accuracy/coverage over the suite; a fresh predictor
-    per workload (the paper evaluates benchmarks independently)."""
-    engine = get_engine()
-    stats = DeadPredictionStats()
-    for run in runs:
-        paths = engine.paths_for(run, path_bits)
-        predictor = make_predictor(run)
-        evaluate_predictor(run.analysis, predictor, paths, stats)
-    return stats
-
-
 def f5_predictor_sweep(scale: float = 1.0) -> ExperimentResult:
     """F5: accuracy and coverage versus predictor state budget.
 
@@ -201,12 +190,12 @@ def f5_predictor_sweep(scale: float = 1.0) -> ExperimentResult:
     """
     table = Table("Path predictor: accuracy/coverage vs state",
                   ["entries", "state (KB)", "accuracy", "coverage"])
-    runs = suite_runs(scale)
+    sweep = SweepExecutor(suite_runs(scale))
     data: Dict[int, object] = {}
     for entries in (256, 512, 1024, 2048, 4096, 8192):
-        stats = _suite_predictor_stats(
-            runs, lambda run: PathDeadPredictor(entries=entries),
-            path_bits=3)
+        stats = sweep.predictor_stats(
+            lambda run: PathDeadPredictor(entries=entries),
+            path_bits=3, label="F5:entries=%d" % entries)
         state_kb = PathDeadPredictor(entries=entries).storage_kb()
         data[entries] = (state_kb, stats.accuracy, stats.coverage)
         table.add_row(entries, "%.2f" % state_kb,
@@ -222,7 +211,7 @@ def f6_predictor_compare(scale: float = 1.0) -> ExperimentResult:
     Compares the PC-only bimodal baseline, the single-signature design,
     the paper's path-indexed predictor, and the oracle.
     """
-    runs = suite_runs(scale)
+    sweep = SweepExecutor(suite_runs(scale))
     designs = [
         ("profile (ideal static)",
          lambda run: ProfileDeadPredictor(run.analysis), 0.0),
@@ -245,7 +234,8 @@ def f6_predictor_compare(scale: float = 1.0) -> ExperimentResult:
                   ["design", "state (KB)", "accuracy", "coverage"])
     data: Dict[str, object] = {}
     for name, factory, state_kb in designs:
-        stats = _suite_predictor_stats(runs, factory, path_bits=3)
+        stats = sweep.predictor_stats(factory, path_bits=3,
+                                      label="F6:%s" % name)
         data[name] = (stats.accuracy, stats.coverage)
         table.add_row(name, "%.2f" % state_kb,
                       percent(stats.accuracy), percent(stats.coverage))
@@ -257,35 +247,6 @@ def f6_predictor_compare(scale: float = 1.0) -> ExperimentResult:
 # ---------------------------------------------------------------------
 # Elimination (F7, F8)
 # ---------------------------------------------------------------------
-
-
-def _elim_variant(config: MachineConfig,
-                  elim_overrides: Dict[str, object] = None
-                  ) -> MachineConfig:
-    overrides = {"eliminate": True}
-    if elim_overrides:
-        overrides.update(elim_overrides)
-    return replace(config, **overrides)
-
-
-def _run_pair(run: SuiteRun, config: MachineConfig,
-              elim_overrides: Dict[str, object] = None):
-    engine = get_engine()
-    base = engine.simulate(run.trace, config, run.analysis,
-                           trace_key=run.cache_key)
-    elim = engine.simulate(run.trace,
-                           _elim_variant(config, elim_overrides),
-                           run.analysis, trace_key=run.cache_key)
-    return base, elim
-
-
-def _prefetch_pairs(runs: List[SuiteRun],
-                    *configs: MachineConfig) -> None:
-    """Warm the engine's timing stage for every (run, config) cell in
-    parallel (no-op for serial engines); the experiment's own loop
-    then reads the results back in deterministic suite order."""
-    get_engine().prefetch_simulations(
-        [(run, config) for run in runs for config in configs])
 
 
 def f7_resources(scale: float = 1.0) -> ExperimentResult:
@@ -302,10 +263,10 @@ def f7_resources(scale: float = 1.0) -> ExperimentResult:
     sums = [0.0] * 6
     data: Dict[str, object] = {}
     runs = suite_runs(scale)
-    _prefetch_pairs(runs, default_config(),
-                    _elim_variant(default_config()))
+    sweep = SweepExecutor(runs)
+    sweep.prefetch_pairs(default_config())
     for run in runs:
-        base, elim = _run_pair(run, default_config())
+        base, elim = sweep.pair(run, default_config())
         sb, se = base.stats, elim.stats
         reductions = (
             1 - se.preg_allocs / max(sb.preg_allocs, 1),
@@ -345,12 +306,11 @@ def f8_speedup(scale: float = 1.0) -> ExperimentResult:
     data: Dict[str, object] = {"contended": {}, "default": {}}
     geo_contended = geo_default = 1.0
     runs = suite_runs(scale)
-    _prefetch_pairs(runs, contended_config(),
-                    _elim_variant(contended_config()),
-                    default_config(), _elim_variant(default_config()))
+    sweep = SweepExecutor(runs)
+    sweep.prefetch_pairs(contended_config(), default_config())
     for run in runs:
-        base_c, elim_c = _run_pair(run, contended_config())
-        base_d, elim_d = _run_pair(run, default_config())
+        base_c, elim_c = sweep.pair(run, contended_config())
+        base_d, elim_d = sweep.pair(run, default_config())
         speedup_c = elim_c.stats.ipc / base_c.stats.ipc - 1
         speedup_d = elim_d.stats.ipc / base_d.stats.ipc - 1
         geo_contended *= 1 + speedup_c
@@ -414,13 +374,13 @@ def a1_path_length(scale: float = 1.0) -> ExperimentResult:
     """A1: how much future control flow does the predictor need?"""
     table = Table("Path length ablation (path predictor, 2048 entries)",
                   ["path bits", "accuracy", "coverage"])
-    runs = suite_runs(scale)
+    sweep = SweepExecutor(suite_runs(scale))
     data: Dict[int, object] = {}
     for path_bits in (0, 1, 2, 3, 4, 5, 6):
-        stats = _suite_predictor_stats(
-            runs,
+        stats = sweep.predictor_stats(
             lambda run, pb=path_bits: PathDeadPredictor(path_bits=pb),
-            path_bits=max(path_bits, 1))
+            path_bits=max(path_bits, 1),
+            label="A1:path_bits=%d" % path_bits)
         data[path_bits] = (stats.accuracy, stats.coverage)
         table.add_row(path_bits, percent(stats.accuracy),
                       percent(stats.coverage))
@@ -432,15 +392,15 @@ def a2_confidence(scale: float = 1.0) -> ExperimentResult:
     """A2: confidence threshold trades coverage for accuracy."""
     table = Table("Confidence threshold ablation (path predictor)",
                   ["conf bits", "threshold", "accuracy", "coverage"])
-    runs = suite_runs(scale)
+    sweep = SweepExecutor(suite_runs(scale))
     data: Dict[object, object] = {}
     for conf_bits, threshold in ((1, 1), (2, 1), (2, 2), (2, 3),
                                  (3, 5), (3, 7)):
-        stats = _suite_predictor_stats(
-            runs,
+        stats = sweep.predictor_stats(
             lambda run, cb=conf_bits, th=threshold: PathDeadPredictor(
                 conf_bits=cb, threshold=th),
-            path_bits=3)
+            path_bits=3,
+            label="A2:conf=%d,thresh=%d" % (conf_bits, threshold))
         data[(conf_bits, threshold)] = (stats.accuracy, stats.coverage)
         table.add_row(conf_bits, threshold, percent(stats.accuracy),
                       percent(stats.coverage))
@@ -453,6 +413,7 @@ def a3_recovery(scale: float = 1.0) -> ExperimentResult:
     table = Table("Recovery ablation: contended-machine geomean speedup",
                   ["recovery", "geomean speedup", "worst benchmark"])
     runs = suite_runs(scale)
+    sweep = SweepExecutor(runs)
     data: Dict[str, object] = {}
     variants = [
         ("replay (default)", {}),
@@ -460,14 +421,14 @@ def a3_recovery(scale: float = 1.0) -> ExperimentResult:
         ("flush, 24-cycle penalty", {"recovery_mode": "flush",
                                      "recovery_penalty": 24}),
     ]
-    _prefetch_pairs(runs, contended_config(),
-                    *[_elim_variant(contended_config(), overrides)
-                      for _label, overrides in variants])
+    sweep.prefetch(contended_config(),
+                   *[elim_variant(contended_config(), overrides)
+                     for _label, overrides in variants])
     for label, overrides in variants:
         geo = 1.0
         worst_name, worst = "", 1.0
         for run in runs:
-            base, elim = _run_pair(run, contended_config(), overrides)
+            base, elim = sweep.pair(run, contended_config(), overrides)
             speedup = elim.stats.ipc / base.stats.ipc - 1
             geo *= 1 + speedup
             if speedup < worst:
@@ -497,29 +458,24 @@ def a4_scheduling(scale: float = 1.0) -> ExperimentResult:
                   "(contended machine, cycles normalized to -O0 base)",
                   ["max hoist", "dead%", "cycles (base)",
                    "cycles (elim)", "elim recovers"])
-    engine = get_engine()
     config = contended_config()
     data: Dict[int, object] = {}
     reference: Dict[str, int] = {}
-    reference_runs = suite_runs(scale, opt_level=0)
-    _prefetch_pairs(reference_runs, config)
-    for run in reference_runs:
-        result = engine.simulate(run.trace, config, run.analysis,
-                                 trace_key=run.cache_key)
+    reference_sweep = SweepExecutor(suite_runs(scale, opt_level=0))
+    reference_sweep.prefetch(config)
+    for run in reference_sweep.runs:
+        result = reference_sweep.simulate(run, config)
         reference[run.workload.name] = result.stats.cycles
     for max_hoist in (0, 2, 4, 8):
         opt_level = 2 if max_hoist else 0
-        runs = suite_runs(scale, opt_level=opt_level,
-                          max_hoist=max(max_hoist, 1))
-        _prefetch_pairs(runs, config, _elim_variant(config))
+        sweep = SweepExecutor(suite_runs(scale, opt_level=opt_level,
+                                         max_hoist=max(max_hoist, 1)))
+        runs = sweep.runs
+        sweep.prefetch_pairs(config)
         geo_base = geo_elim = 1.0
         dead_total = dyn_total = 0
         for run in runs:
-            base = engine.simulate(run.trace, config, run.analysis,
-                                   trace_key=run.cache_key)
-            elim = engine.simulate(run.trace, _elim_variant(config),
-                                   run.analysis,
-                                   trace_key=run.cache_key)
+            base, elim = sweep.pair(run, config)
             norm = reference[run.workload.name]
             geo_base *= base.stats.cycles / norm
             geo_elim *= elim.stats.cycles / norm
@@ -638,22 +594,24 @@ def a6_warmup(scale: float = 1.0) -> ExperimentResult:
                   ["phase", "coverage"])
     totals = {bucket: [0, 0] for bucket in buckets}  # [hits, dead]
 
-    engine = get_engine()
-    for run in suite_runs(scale):
-        analysis = run.analysis
-        trace = run.trace
-        statics = analysis.statics
-        paths = engine.paths_for(run, 3)
+    sweep = SweepExecutor(suite_runs(scale))
+    for run in sweep.runs:
+        paths = sweep.paths_for(run, 3)
+        stream = sweep.stream_for(run)
         predictor = PathDeadPredictor()
-        midpoint = len(trace) // 2
-        for i in range(len(trace)):
-            if i == midpoint:
+        midpoint = len(run.trace) // 2
+        flushed = False
+        # Predictor state only changes on eligible events, so flushing
+        # at the first eligible instance past the midpoint is identical
+        # to flushing exactly at the midpoint.
+        for i, pc, is_dead in zip(stream.eligible_index,
+                                  stream.eligible_pc,
+                                  stream.eligible_dead):
+            if not flushed and i >= midpoint:
                 predictor = PathDeadPredictor()  # context switch
-            pc = trace.pcs[i]
-            if not statics.eligible[pc >> 2]:
-                continue
+                flushed = True
             prediction = predictor.predict(pc, paths.predicted[i], i)
-            if analysis.dead[i]:
+            if is_dead:
                 offset = i - midpoint
                 if offset < 0:
                     # Only count warmed-up pre-flush instructions.
@@ -670,7 +628,7 @@ def a6_warmup(scale: float = 1.0) -> ExperimentResult:
                     totals[bucket][1] += 1
                     if prediction:
                         totals[bucket][0] += 1
-            predictor.train(pc, analysis.dead[i], paths.actual[i], i)
+            predictor.train(pc, is_dead, paths.actual[i], i)
 
     data: Dict[str, float] = {}
     for bucket in buckets:
@@ -699,10 +657,10 @@ def e1_energy(scale: float = 1.0) -> ExperimentResult:
     data: Dict[str, float] = {}
     total = 0.0
     runs = suite_runs(scale)
-    _prefetch_pairs(runs, default_config(),
-                    _elim_variant(default_config()))
+    sweep = SweepExecutor(runs)
+    sweep.prefetch_pairs(default_config())
     for run in runs:
-        base, elim = _run_pair(run, default_config())
+        base, elim = sweep.pair(run, default_config())
         reduction = energy_reduction(base, elim)
         data[run.workload.name] = reduction
         total += reduction
@@ -736,19 +694,16 @@ def e2_register_scaling(scale: float = 1.0) -> ExperimentResult:
                   ["phys regs (spare)", "base geomean IPC",
                    "elim speedup"])
     runs = suite_runs(scale)
+    executor = SweepExecutor(runs)
     data: Dict[int, object] = {}
     sweep = (44, 48, 56, 72, 104, 160)
-    _prefetch_pairs(runs, *[conf
-                            for regs in sweep
-                            for conf in
-                            (contended_config(phys_regs=regs),
-                             _elim_variant(
-                                 contended_config(phys_regs=regs)))])
+    executor.prefetch_pairs(*[contended_config(phys_regs=regs)
+                              for regs in sweep])
     for phys_regs in sweep:
         geo_base = geo_speedup = 1.0
         for run in runs:
-            base, elim = _run_pair(run,
-                                   contended_config(phys_regs=phys_regs))
+            base, elim = executor.pair(
+                run, contended_config(phys_regs=phys_regs))
             geo_base *= base.stats.ipc
             geo_speedup *= elim.stats.ipc / base.stats.ipc
         n = len(runs)

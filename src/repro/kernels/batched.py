@@ -1,0 +1,256 @@
+"""The ``batched`` backend: bulk column operations for the kernels.
+
+Pure stdlib (no extension modules in the image), so "batched" means
+pushing per-element work out of interpreted bytecode and into C-level
+primitives:
+
+* the per-static fact tables are **gathered** into per-dynamic columns
+  once with ``map(list.__getitem__, sidx)``, so the sequential backward
+  pass unpacks one tuple from a multi-column ``zip(reversed(...))``
+  iterator instead of doing nine indexed lookups per instruction;
+* per-static instance counters come from ``collections.Counter`` over
+  the static-index column (``Counter(sidx)`` and
+  ``Counter(compress(sidx, dead))``), never from a Python loop;
+* the prediction stream is extracted with ``itertools.compress`` over
+  gathered event masks.
+
+The backward dataflow itself is inherently sequential (every label
+depends on state mutated by younger instructions), so it stays a loop;
+everything around it is batched.  Results are byte-identical to the
+``python`` reference by the canonical-form rules in
+:mod:`repro.kernels.base` — the property suite and
+``tests/test_kernels.py`` enforce this on random programs and the real
+workloads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import compress
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.program import TEXT_BASE
+from repro.isa.registers import NUM_REGS
+from repro.kernels.base import (
+    DeadnessColumns,
+    DecodedTrace,
+    FusedColumns,
+    KernelBackend,
+    KillColumns,
+    PredictionStream,
+    StaticCounts,
+    canonical_counts,
+    canonical_kills,
+)
+
+
+def _gather(table: Sequence, sidx: Sequence[int]) -> List:
+    """Per-dynamic column from a per-static table (C-level gather)."""
+    return list(map(table.__getitem__, sidx))
+
+
+class BatchedBackend(KernelBackend):
+    """Bulk-operation implementation (stdlib ``map``/``zip``/``Counter``)."""
+
+    name = "batched"
+
+    def _static_indices(self, trace) -> List[int]:
+        base = TEXT_BASE
+        if base:
+            return [(pc - base) >> 2 for pc in trace.pcs]
+        return [pc >> 2 for pc in trace.pcs]
+
+    def _fused(self, decoded: DecodedTrace,
+               track_stores: bool) -> FusedColumns:
+        return _backward_pass(decoded, track_stores, fuse=True)
+
+    def _deadness(self, decoded: DecodedTrace,
+                  track_stores: bool) -> DeadnessColumns:
+        return _backward_pass(decoded, track_stores, fuse=False).deadness
+
+    def _static_counts(self, decoded: DecodedTrace,
+                       dead: Sequence[bool]) -> StaticCounts:
+        sidx = decoded.sidx
+        totals = Counter(sidx)
+        deads = Counter(compress(sidx, dead))
+        return canonical_counts(totals, deads)
+
+    def _kill_distances(self, decoded: DecodedTrace,
+                        dead: Sequence[bool]) -> KillColumns:
+        sidx = decoded.sidx
+        provenance = decoded.statics.provenance
+        dest_col = _gather(decoded.statics.dest, sidx)
+
+        pending: List[Optional[int]] = [None] * NUM_REGS
+        pairs = []
+        i = -1
+        for dest, dead_i in zip(dest_col, dead):
+            i += 1
+            if not dest:
+                continue
+            previous = pending[dest]
+            if previous is not None:
+                pairs.append((previous, i - previous,
+                              provenance[sidx[previous]] or "original"))
+            pending[dest] = i if dead_i else None
+        unkilled = sum(1 for entry in pending if entry is not None)
+        pairs.sort(key=lambda pair: pair[0])
+        return canonical_kills(pairs, unkilled)
+
+    def _prediction_stream(self, decoded: DecodedTrace,
+                           dead: Sequence[bool]) -> PredictionStream:
+        trace = decoded.trace
+        sidx = decoded.sidx
+        statics = decoded.statics
+        eligible = statics.eligible
+        is_cond = statics.is_cond_branch
+        # Per-static event masks (an eligible conditional branch cannot
+        # exist, but the evaluation walk's if/elif gives eligibility
+        # priority — mirror that exactly), gathered to per-dynamic.
+        branch_event = [cond and not elig
+                       for elig, cond in zip(eligible, is_cond)]
+        e_col = _gather(eligible, sidx)
+        b_col = _gather(branch_event, sidx)
+
+        n = len(sidx)
+        return PredictionStream(
+            eligible_index=list(compress(range(n), e_col)),
+            eligible_pc=list(compress(trace.pcs, e_col)),
+            eligible_dead=list(compress(dead, e_col)),
+            branch_index=list(compress(range(n), b_col)),
+            branch_taken=list(compress(trace.taken, b_col)))
+
+
+def _backward_pass(decoded: DecodedTrace, track_stores: bool,
+                   fuse: bool) -> FusedColumns:
+    """Backward dataflow over pre-gathered per-dynamic columns.
+
+    Same state machine as the reference backend (see
+    :mod:`repro.analysis.liveness` for the semantics); the batching is
+    in how operands reach the loop body.
+    """
+    trace = decoded.trace
+    statics = decoded.statics
+    sidx = decoded.sidx
+    n = len(sidx)
+    provenance = statics.provenance
+
+    dest_col = _gather(statics.dest, sidx)
+    src1_col = _gather(statics.src1, sidx)
+    src2_col = _gather(statics.src2, sidx)
+    side_col = _gather(statics.side_effect, sidx)
+    load_col = _gather(statics.is_load, sidx)
+    store_col = _gather(statics.is_store, sidx)
+    byte_col = _gather(statics.is_byte, sidx)
+    elig_col = _gather(statics.eligible, sidx)
+
+    dead = [False] * n
+    direct = [False] * n
+
+    reg_live = [True] * NUM_REGS
+    reg_touched = [False] * NUM_REGS
+    mem_live: Dict[int, bool] = {}
+    mem_touched: Dict[int, bool] = {}
+
+    n_dead = n_direct = n_dead_stores = n_eligible = 0
+
+    next_write: List[Optional[int]] = [None] * NUM_REGS
+    kill_pairs = []
+    unkilled = 0
+
+    walk = zip(range(n - 1, -1, -1), reversed(dest_col),
+               reversed(src1_col), reversed(src2_col), reversed(side_col),
+               reversed(load_col), reversed(store_col), reversed(byte_col),
+               reversed(elig_col), reversed(trace.addrs))
+
+    for (i, dest, src1, src2, side, is_load, is_store, is_byte,
+         eligible, addr) in walk:
+        if dest:
+            n_eligible += eligible
+            value_live = reg_live[dest]
+            value_touched = reg_touched[dest]
+            useful = value_live or side
+            reg_live[dest] = False
+            reg_touched[dest] = False
+            if not useful:
+                dead[i] = True
+                n_dead += 1
+                if fuse:
+                    killer = next_write[dest]
+                    if killer is not None:
+                        kill_pairs.append((i, killer - i,
+                                           provenance[sidx[i]] or "original"))
+                    else:
+                        unkilled += 1
+                    next_write[dest] = i
+                if not value_touched:
+                    direct[i] = True
+                    n_direct += 1
+                if src1 > 0:
+                    reg_touched[src1] = True
+                if src2 > 0:
+                    reg_touched[src2] = True
+                if is_load and not is_byte:
+                    mem_touched[addr & ~3] = True
+                continue
+            if fuse:
+                next_write[dest] = i
+            if src1 > 0:
+                reg_live[src1] = True
+                reg_touched[src1] = True
+            if src2 > 0:
+                reg_live[src2] = True
+                reg_touched[src2] = True
+            if is_load:
+                word = addr & ~3
+                mem_live[word] = True
+                mem_touched[word] = True
+            continue
+
+        if is_store:
+            if track_stores and not is_byte:
+                word = addr & ~3
+                store_live = mem_live.get(word, True)
+                store_touched = mem_touched.get(word, False)
+                mem_live[word] = False
+                mem_touched[word] = False
+                if not store_live:
+                    dead[i] = True
+                    n_dead += 1
+                    n_dead_stores += 1
+                    if not store_touched:
+                        direct[i] = True
+                        n_direct += 1
+                    if src1 > 0:
+                        reg_touched[src1] = True
+                    if src2 > 0:
+                        reg_touched[src2] = True
+                    continue
+            if src1 > 0:
+                reg_live[src1] = True
+                reg_touched[src1] = True
+            if src2 > 0:
+                reg_live[src2] = True
+                reg_touched[src2] = True
+            continue
+
+        if src1 > 0:
+            reg_live[src1] = True
+            reg_touched[src1] = True
+        if src2 > 0:
+            reg_live[src2] = True
+            reg_touched[src2] = True
+
+    deadness = DeadnessColumns(
+        dead=dead, direct=direct, n_eligible=n_eligible, n_dead=n_dead,
+        n_direct=n_direct, n_dead_stores=n_dead_stores)
+    if not fuse:
+        return FusedColumns(deadness=deadness, kills=KillColumns(),
+                            counts=StaticCounts())
+    totals = Counter(sidx)
+    deads = Counter(compress(sidx, dead))
+    kill_pairs.reverse()
+    return FusedColumns(
+        deadness=deadness,
+        kills=canonical_kills(kill_pairs, unkilled),
+        counts=canonical_counts(totals, deads))

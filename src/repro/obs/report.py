@@ -27,6 +27,7 @@ from repro.obs.timeline import render_timeline
 __all__ = [
     "load_obs",
     "obs_dir_for",
+    "render_kernel_passes",
     "render_report",
     "render_timelines",
     "resolve_run",
@@ -125,6 +126,35 @@ def render_timelines(obs: Dict[str, object],
     return "\n\n".join(parts)
 
 
+def render_kernel_passes(spans: List[Dict[str, object]]) -> str:
+    """Aggregate ``kernel:<pass>`` spans into a per-(pass, backend)
+    timing table — where the trace walks actually spend their time."""
+    merged: Dict[tuple, List[float]] = {}
+    for span in spans:
+        name = str(span.get("name", ""))
+        if not name.startswith("kernel:"):
+            continue
+        attrs = span.get("attrs") or {}
+        key = (name[len("kernel:"):], str(attrs.get("backend", "?")))
+        bucket = merged.setdefault(key, [0, 0, 0.0])
+        bucket[0] += 1
+        bucket[1] += int(attrs.get("items", 0) or 0)
+        bucket[2] += float(span.get("seconds", 0.0) or 0.0)
+    if not merged:
+        return "no kernel passes recorded"
+    ranked = sorted(merged.items(), key=lambda item: (-item[1][2],
+                                                      item[0]))
+    lines = ["%-18s %-8s %8s %12s %10s %12s" %
+             ("pass", "backend", "calls", "items", "seconds",
+              "items/s")]
+    for (name, backend), (calls, items, seconds) in ranked:
+        rate = ("%12.0f" % (items / seconds)) if seconds > 0 \
+            else "%12s" % "-"
+        lines.append("%-18s %-8s %8d %12d %10.3f %s" %
+                     (name, backend, calls, items, seconds, rate))
+    return "\n".join(lines)
+
+
 def render_report(run_doc: Dict[str, object],
                   obs: Dict[str, object],
                   top: int = 10) -> str:
@@ -152,6 +182,10 @@ def render_report(run_doc: Dict[str, object],
     lines.append("")
     lines.append("-- pipeline timelines --")
     lines.append(render_timelines(obs, limit=4))
+
+    lines.append("")
+    lines.append("-- kernel passes --")
+    lines.append(render_kernel_passes(obs.get("spans", [])))
 
     lines.append("")
     lines.append("-- predictor hotspots (top %d mispredicted PCs) --"

@@ -154,8 +154,9 @@ def _control_flags(trace: Trace, statics: StaticTable,
     ends_group = [False] * n
     is_cond = statics.is_cond_branch
     opcode = statics.opcode
+    sidx = trace.static_indices()
     for i in range(n):
-        si = pcs[i] >> 2
+        si = sidx[i]
         if is_cond[si]:
             outcome = taken[i]
             predicted = gshare.predict_and_update(pcs[i], outcome)
@@ -210,6 +211,7 @@ class Simulator:
         statics = self.statics
         pcs = trace.pcs
         addrs = trace.addrs
+        static_idx = trace.static_indices()
         n = len(pcs)
 
         s_dest = statics.dest
@@ -380,7 +382,7 @@ class Simulator:
             while (renamed < config.rename_width and fetch_queue
                    and cycle >= rename_blocked_until):
                 tidx = fetch_queue[0]
-                sidx = pcs[tidx] >> 2
+                sidx = static_idx[tidx]
                 pc = pcs[tidx]
                 if len(rob) >= config.rob_size:
                     stats.rename_stalls_rob += 1
@@ -516,7 +518,7 @@ class Simulator:
                     fetch_queue.append(tidx)
                     fetch_idx += 1
                     fetched += 1
-                    sidx = pcs[tidx] >> 2
+                    sidx = static_idx[tidx]
                     if statics.is_cond_branch[sidx]:
                         stats.branches += 1
                     if mispredict_flags[tidx]:

@@ -12,8 +12,9 @@ steady-state accuracy/coverage it is irrelevant.
 
 from __future__ import annotations
 
-from repro import obs
+from repro import kernels, obs
 from repro.analysis.liveness import DeadnessAnalysis
+from repro.kernels.base import PredictionStream
 from repro.predictors.dead.base import DeadPredictionStats, DeadPredictor
 from repro.predictors.dead.paths import PathInfo, compute_paths
 
@@ -22,7 +23,9 @@ def evaluate_predictor(analysis: DeadnessAnalysis,
                        predictor: DeadPredictor,
                        paths: PathInfo = None,
                        stats: DeadPredictionStats = None,
-                       probe=None) -> DeadPredictionStats:
+                       probe=None,
+                       stream: PredictionStream = None
+                       ) -> DeadPredictionStats:
     """Run *predictor* over one labelled trace; return its statistics.
 
     Pass an existing *stats* object to accumulate across workloads
@@ -33,6 +36,13 @@ def evaluate_predictor(analysis: DeadnessAnalysis,
     records per-PC confusion counts and table churn; when telemetry is
     on (``repro.obs``) a probe is created automatically and the
     finished walk is registered with the active collector.
+
+    *stream* is the trace's per-PC event stream
+    (:class:`~repro.kernels.base.PredictionStream`); by default the
+    memoized stream for *analysis* is used, so sweeping many predictor
+    configurations over one trace extracts the events once and each
+    configuration walks only the eligible instances and conditional
+    branches instead of the full dynamic stream.
     """
     trace = analysis.trace
     statics = analysis.statics
@@ -44,12 +54,9 @@ def evaluate_predictor(analysis: DeadnessAnalysis,
         probe = obs.new_probe()
     if probe is not None:
         predictor.probe = probe
+    if stream is None:
+        stream = kernels.prediction_stream_for(analysis)
 
-    pcs = trace.pcs
-    taken = trace.taken
-    dead = analysis.dead
-    eligible = statics.eligible
-    is_cond = statics.is_cond_branch
     predicted_paths = paths.predicted
     actual_paths = paths.actual
 
@@ -61,17 +68,35 @@ def evaluate_predictor(analysis: DeadnessAnalysis,
     # walk passes each conditional branch.
     note_branch = getattr(predictor, "note_branch", None)
 
-    for i in range(len(pcs)):
-        pc = pcs[i]
-        si = pc >> 2
-        if eligible[si]:
+    eligible_events = zip(stream.eligible_index, stream.eligible_pc,
+                          stream.eligible_dead)
+    if note_branch is None:
+        for i, pc, is_dead in eligible_events:
             prediction = predict(pc, predicted_paths[i], i)
-            record(prediction, dead[i])
+            record(prediction, is_dead)
             if record_probe is not None:
-                record_probe(pc, prediction, dead[i])
-            train(pc, dead[i], actual_paths[i], i)
-        elif note_branch is not None and is_cond[si]:
-            note_branch(taken[i])
+                record_probe(pc, prediction, is_dead)
+            train(pc, is_dead, actual_paths[i], i)
+    else:
+        # Two-pointer merge: replay branch outcomes and eligible
+        # lookups in original dynamic order (the two index lists are
+        # disjoint and ascending).
+        branch_index = stream.branch_index
+        branch_taken = stream.branch_taken
+        n_branches = len(branch_index)
+        b = 0
+        for i, pc, is_dead in eligible_events:
+            while b < n_branches and branch_index[b] < i:
+                note_branch(branch_taken[b])
+                b += 1
+            prediction = predict(pc, predicted_paths[i], i)
+            record(prediction, is_dead)
+            if record_probe is not None:
+                record_probe(pc, prediction, is_dead)
+            train(pc, is_dead, actual_paths[i], i)
+        while b < n_branches:
+            note_branch(branch_taken[b])
+            b += 1
 
     if probe is not None:
         predictor.probe = None

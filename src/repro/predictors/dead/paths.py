@@ -19,6 +19,7 @@ zero-padded signatures — a negligible edge effect.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import compress
 from typing import List
 
 from repro.analysis.statics import StaticTable
@@ -58,17 +59,18 @@ def compute_paths(trace: Trace, statics: StaticTable = None,
     is_cond = statics.is_cond_branch
     n = len(pcs)
 
-    branch_positions: List[int] = []
+    # Branch positions fall out of the decoded static-index column
+    # (shared with every other pass) in one bulk filter.
+    sidx = trace.static_indices()
+    branch_positions: List[int] = list(
+        compress(range(n), map(is_cond.__getitem__, sidx)))
     predicted_bits: List[bool] = []
     actual_bits: List[bool] = []
-    for i in range(n):
-        if is_cond[pcs[i] >> 2]:
-            outcome = taken[i]
-            prediction = branch_predictor.predict_and_update(pcs[i],
-                                                             outcome)
-            branch_positions.append(i)
-            predicted_bits.append(prediction)
-            actual_bits.append(outcome)
+    for i in branch_positions:
+        outcome = taken[i]
+        prediction = branch_predictor.predict_and_update(pcs[i], outcome)
+        predicted_bits.append(prediction)
+        actual_bits.append(outcome)
 
     # Suffix-pack: signature[k] covers branches k .. k+N-1, nearest
     # branch in bit 0.

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Set
 
+from repro import kernels
 from repro.analysis.liveness import DeadnessAnalysis
 from repro.predictors.dead.base import DeadPredictor
 
@@ -35,15 +36,12 @@ class ProfileDeadPredictor(DeadPredictor):
         self.threshold = threshold
         totals = {}
         deads = {}
-        pcs = analysis.trace.pcs
-        dead = analysis.dead
-        eligible = analysis.statics.eligible
-        for i in range(len(pcs)):
-            pc = pcs[i]
-            if not eligible[pc >> 2]:
-                continue
+        # The profile is exactly the eligible-event stream the kernel
+        # layer already extracted (and sweeps share across points).
+        stream = kernels.prediction_stream_for(analysis)
+        for pc, is_dead in zip(stream.eligible_pc, stream.eligible_dead):
             totals[pc] = totals.get(pc, 0) + 1
-            if dead[i]:
+            if is_dead:
                 deads[pc] = deads.get(pc, 0) + 1
         self.always_dead: Set[int] = {
             pc for pc, total in totals.items()

@@ -88,8 +88,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.annotate:
         print("annotated dynamic trace (first %d instructions):"
               % args.annotate)
+        sidx = trace.static_indices()
+        instructions = program.instructions
         for i in range(min(args.annotate, len(trace))):
-            instruction = trace.instruction(i)
+            instruction = instructions[sidx[i]]
             if analysis.dead[i]:
                 mark = ("DEAD!" if analysis.direct[i]
                         else "DEAD(transitive)")

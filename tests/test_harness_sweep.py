@@ -1,0 +1,91 @@
+"""The sweep executor: per-point results identical to direct
+evaluation, shared state memoized across sweep points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_deadness
+from repro.harness.engine import Engine, EngineConfig
+from repro.harness.runs import SuiteRun
+from repro.harness.sweep import SweepExecutor, elim_variant
+from repro.pipeline import contended_config, default_config
+from repro.predictors.dead.base import DeadPredictionStats
+from repro.predictors.dead.evaluate import evaluate_predictor
+from repro.predictors.dead.table import PathDeadPredictor
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = []
+    for name in ("sort", "rle"):
+        workload = get_workload(name)
+        machine, trace = workload.run(scale=0.3)
+        out.append(SuiteRun(workload=workload, trace=trace,
+                            analysis=analyze_deadness(trace),
+                            output=list(machine.output)))
+    return out
+
+
+@pytest.fixture()
+def executor(runs, tmp_path):
+    engine = Engine(EngineConfig(jobs=1, cache=True,
+                                 cache_dir=str(tmp_path / "cache")))
+    return SweepExecutor(runs, engine=engine)
+
+
+class TestElimVariant:
+    def test_sets_eliminate(self):
+        variant = elim_variant(default_config())
+        assert variant.eliminate is True
+
+    def test_applies_overrides(self):
+        variant = elim_variant(contended_config(),
+                               {"eliminate_stores": False})
+        assert variant.eliminate is True
+        assert variant.eliminate_stores is False
+
+
+class TestPredictorSweep:
+    def test_matches_direct_evaluation(self, executor, runs):
+        via_executor = executor.predictor_stats(
+            lambda run: PathDeadPredictor(entries=512), path_bits=3,
+            label="test")
+
+        direct = DeadPredictionStats()
+        for run in runs:
+            evaluate_predictor(run.analysis,
+                               PathDeadPredictor(entries=512),
+                               executor.engine.paths_for(run, 3),
+                               direct)
+        assert via_executor.__dict__ == direct.__dict__
+
+    def test_paths_memoized_per_run(self, executor, runs):
+        first = executor.paths_for(runs[0], 3)
+        assert executor.paths_for(runs[0], 3) is first
+        assert executor.paths_for(runs[1], 3) is not first
+        # Different geometry -> different memo cell.
+        assert executor.paths_for(runs[0], 5) is not first
+
+    def test_stream_memoized_per_run(self, executor, runs):
+        first = executor.stream_for(runs[0])
+        assert executor.stream_for(runs[0]) is first
+
+
+class TestTimingSweep:
+    def test_pair_matches_direct_simulation(self, executor, runs):
+        run = runs[0]
+        config = default_config()
+        base, elim = executor.pair(run, config)
+        assert base.stats.cycles == executor.engine.simulate(
+            run.trace, config, run.analysis).stats.cycles
+        assert elim.stats.cycles == executor.engine.simulate(
+            run.trace, elim_variant(config), run.analysis).stats.cycles
+        assert elim.stats.eliminated > 0
+
+    def test_prefetch_pairs_is_transparent(self, executor, runs):
+        executor.prefetch_pairs(default_config())
+        base, elim = executor.pair(runs[0], default_config())
+        assert base.stats.cycles > 0
+        assert elim.stats.eliminated > 0
