@@ -20,6 +20,7 @@ Experiment ids (see DESIGN.md §4): F1-F9 are reconstructed figures,
 T1 the machine-configuration table, A1-A6 ablations, E1-E2 extensions.
 """
 
+from repro.harness import faults
 from repro.harness.engine import (
     CellSpec,
     Engine,
@@ -44,6 +45,7 @@ __all__ = [
     "SuiteRun",
     "Table",
     "configure",
+    "faults",
     "get_engine",
     "run_experiment",
     "suite_runs",

@@ -4,6 +4,7 @@ Layout under the cache root (default ``.repro-cache/``)::
 
     .repro-cache/
         stages/<stage>/<kk>/<key>.pkl   # one artifact per entry
+        stages/_quarantine/<stage>/...  # corrupt entries, moved aside
         runs/run-<id>.json              # structured run metadata
 
 Keys are SHA-256 hex digests computed by :func:`stable_hash` over the
@@ -14,11 +15,27 @@ subpackages that implement it (:func:`code_salt`), so editing the
 compiler invalidates compiled artifacts, editing the emulator
 invalidates traces, and so on — no manual version bumps.
 
-Robustness contract: a cache entry is advisory.  :meth:`CacheDir.load`
-returns the sentinel :data:`MISS` on *any* failure — missing file,
-truncated pickle, unreadable directory — and callers recompute and
-re-store.  Writes are atomic (temp file + ``os.replace``), so
-concurrent pool workers can populate the same cache safely.
+Robustness contract (docs/harness.md):
+
+* A cache entry is advisory.  :meth:`CacheDir.load` returns the
+  sentinel :data:`MISS` on *any* failure — missing file, bad checksum,
+  truncated pickle, unreadable directory — and callers recompute and
+  re-store.
+* Every entry carries an integrity header (:data:`ENTRY_MAGIC` + the
+  SHA-256 of its pickle payload); a file that exists but fails
+  verification is **quarantined** — moved under
+  ``stages/_quarantine/`` so it can never be served again and remains
+  available for post-mortems — and counted.
+* :meth:`CacheDir.store` is best-effort: *any* exception (IO errors,
+  unpicklable artifacts, injected faults) is swallowed and counted —
+  the cache is an accelerator, never a correctness dependency.
+* Writes are atomic (temp file + ``os.replace``), so concurrent pool
+  workers can populate the same cache safely.  A writer killed between
+  the two steps leaks a ``*.tmp`` file; :meth:`sweep_temp` (and the
+  ``cache gc`` CLI) removes stale ones.
+
+Fault injection (``repro.harness.faults``) hooks the read and write
+paths so all of the above is exercised by tests, not just promised.
 """
 
 from __future__ import annotations
@@ -27,14 +44,26 @@ import hashlib
 import os
 import pickle
 import tempfile
-from typing import Dict, Iterable, Tuple
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.harness import faults
 
 #: Sentinel returned by :meth:`CacheDir.load` when there is no usable
 #: entry.  Distinct from ``None`` so ``None`` is storable.
 MISS = object()
 
 #: Bump to invalidate every entry across a cache-format change.
-CACHE_SCHEMA = "1"
+#: "2": entries gained the integrity header (magic + payload SHA-256).
+CACHE_SCHEMA = "2"
+
+#: First bytes of every entry file; a file without it is corrupt (or
+#: predates the checksummed format) and gets quarantined.
+ENTRY_MAGIC = b"RPRC2\n"
+
+#: Directory under ``stages/`` holding quarantined entries.  Skipped by
+#: :meth:`CacheDir.iter_entries` (leading underscore).
+QUARANTINE_DIR = "_quarantine"
 
 _SEPARATOR = "\x1f"  # unit separator: cannot appear in hex keys/configs
 
@@ -101,11 +130,47 @@ def stage_salt(stage: str) -> str:
     return code_salt(*STAGE_CODE[stage])
 
 
+class CorruptEntry(Exception):
+    """An entry file exists but fails integrity verification."""
+
+
+def encode_entry(value: object) -> bytes:
+    """The on-disk representation of one artifact: magic, the hex
+    SHA-256 of the pickle payload, a newline, then the payload."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    return ENTRY_MAGIC + digest + b"\n" + payload
+
+
+def decode_entry(blob: bytes) -> object:
+    """Verify and unpickle one entry blob; raises :class:`CorruptEntry`
+    on bad magic, bad checksum, or a payload that fails to unpickle."""
+    if not blob.startswith(ENTRY_MAGIC):
+        raise CorruptEntry("bad magic")
+    header_end = len(ENTRY_MAGIC) + 64
+    digest = blob[len(ENTRY_MAGIC):header_end]
+    if blob[header_end:header_end + 1] != b"\n":
+        raise CorruptEntry("truncated header")
+    payload = blob[header_end + 1:]
+    if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+        raise CorruptEntry("checksum mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as error:
+        raise CorruptEntry("unpicklable payload: %r" % (error,))
+
+
 class CacheDir:
     """One on-disk cache root; see the module docstring for layout."""
 
     def __init__(self, root: str):
         self.root = os.path.abspath(root)
+        #: robustness tallies for this handle (see also the obs
+        #: counters ``repro_cache_*_total``)
+        self.counters: Dict[str, int] = {
+            "store_errors": 0, "quarantined": 0, "tmp_swept": 0,
+            "evicted": 0,
+        }
 
     # -- paths --------------------------------------------------------
 
@@ -117,6 +182,10 @@ class CacheDir:
     def runs_root(self) -> str:
         return os.path.join(self.root, "runs")
 
+    @property
+    def quarantine_root(self) -> str:
+        return os.path.join(self.stages_root, QUARANTINE_DIR)
+
     def entry_path(self, stage: str, key: str) -> str:
         return os.path.join(self.stages_root, stage, key[:2],
                             key + ".pkl")
@@ -124,29 +193,50 @@ class CacheDir:
     # -- load/store ---------------------------------------------------
 
     def load(self, stage: str, key: str) -> object:
-        """The stored artifact, or :data:`MISS` on any failure."""
+        """The stored artifact, or :data:`MISS` on any failure.
+
+        A missing or unreadable file is a plain miss; a file that
+        exists but fails integrity verification is quarantined (moved
+        under ``stages/_quarantine/``) so the corrupt bytes are never
+        consulted again yet stay inspectable.
+        """
+        path = self.entry_path(stage, key)
         try:
-            with open(self.entry_path(stage, key), "rb") as stream:
-                return pickle.load(stream)
-        except Exception:
-            # Missing, truncated, or unreadable entries are all just
-            # misses; the caller recomputes and overwrites.
+            if faults.should_fire("cache.read.ioerror"):
+                raise faults.InjectedIOError(
+                    "injected read fault: %s/%s" % (stage, key[:12]))
+            with open(path, "rb") as stream:
+                blob = stream.read()
+        except OSError:
+            return MISS
+        if faults.should_fire("cache.read.garbage"):
+            blob = b"\x00injected-garbage\x00" + blob[:32]
+        try:
+            return decode_entry(blob)
+        except CorruptEntry:
+            self._quarantine(stage, path)
             return MISS
 
     def store(self, stage: str, key: str, value: object) -> None:
-        """Atomically persist one artifact (best-effort: IO errors on
-        store are swallowed — the cache is an accelerator, not a
-        correctness dependency)."""
+        """Atomically persist one artifact.  Best-effort: *any*
+        failure — IO errors, unpicklable artifacts, injected faults —
+        is swallowed and counted; the cache is an accelerator, not a
+        correctness dependency."""
         path = self.entry_path(stage, key)
         try:
+            if faults.should_fire("cache.write.unpicklable"):
+                value = lambda: None  # noqa: E731 — cannot pickle
+            blob = encode_entry(value)
             directory = os.path.dirname(path)
             os.makedirs(directory, exist_ok=True)
+            if faults.should_fire("cache.write.ioerror"):
+                raise faults.InjectedIOError(
+                    "injected write fault: %s/%s" % (stage, key[:12]))
             fd, temp_path = tempfile.mkstemp(dir=directory,
                                              suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as stream:
-                    pickle.dump(value, stream,
-                                protocol=pickle.HIGHEST_PROTOCOL)
+                    stream.write(blob)
                 os.replace(temp_path, path)
             except BaseException:
                 try:
@@ -154,18 +244,72 @@ class CacheDir:
                 except OSError:
                     pass
                 raise
+        except Exception:
+            self.counters["store_errors"] += 1
+            self._count("repro_cache_store_errors_total",
+                        "swallowed cache store failures", stage=stage)
+
+    # -- quarantine ---------------------------------------------------
+
+    def _quarantine(self, stage: str, path: str) -> None:
+        """Move one corrupt entry file under the quarantine tree."""
+        target_dir = os.path.join(self.quarantine_root, stage)
+        try:
+            os.makedirs(target_dir, exist_ok=True)
+            os.replace(path,
+                       os.path.join(target_dir, os.path.basename(path)))
         except OSError:
-            pass
+            # Quarantine is best-effort too: if the move fails, at
+            # least try to unlink so the corrupt entry cannot be
+            # served again.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self.counters["quarantined"] += 1
+        self._count("repro_cache_quarantined_total",
+                    "cache entries quarantined as corrupt", stage=stage)
+
+    def quarantine_stats(self) -> Dict[str, int]:
+        """``{"entries": n, "bytes": b}`` over the quarantine tree."""
+        entries = 0
+        size = 0
+        for _dirpath, path in self._quarantined_files():
+            entries += 1
+            try:
+                size += os.path.getsize(path)
+            except OSError:
+                pass
+        return {"entries": entries, "bytes": size}
+
+    def _quarantined_files(self) -> Iterable[Tuple[str, str]]:
+        root = self.quarantine_root
+        if not os.path.isdir(root):
+            return
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                yield dirpath, os.path.join(dirpath, filename)
+
+    @staticmethod
+    def _count(name: str, help_text: str, **labels: str) -> None:
+        from repro import obs
+
+        obs.metrics().counter(name, help_text, **labels).inc()
 
     # -- maintenance --------------------------------------------------
 
     def iter_entries(self) -> Iterable[Tuple[str, str, int]]:
-        """Yield ``(stage, path, size_bytes)`` for every entry."""
+        """Yield ``(stage, path, size_bytes)`` for every live entry
+        (quarantined files and ``*.tmp`` leftovers excluded)."""
         stages_root = self.stages_root
         if not os.path.isdir(stages_root):
             return
         for stage in sorted(os.listdir(stages_root)):
+            if stage.startswith("_"):
+                continue  # _quarantine and friends
             stage_dir = os.path.join(stages_root, stage)
+            if not os.path.isdir(stage_dir):
+                continue
             for dirpath, _dirnames, filenames in os.walk(stage_dir):
                 for filename in sorted(filenames):
                     if not filename.endswith(".pkl"):
@@ -176,6 +320,78 @@ class CacheDir:
                     except OSError:
                         continue
                     yield stage, path, size
+
+    def temp_files(self) -> List[str]:
+        """Every orphaned ``*.tmp`` file under the stage tree (a
+        writer died between ``mkstemp`` and ``os.replace``)."""
+        found: List[str] = []
+        if not os.path.isdir(self.stages_root):
+            return found
+        for dirpath, _dirnames, filenames in os.walk(self.stages_root):
+            for filename in sorted(filenames):
+                if filename.endswith(".tmp"):
+                    found.append(os.path.join(dirpath, filename))
+        return found
+
+    def sweep_temp(self, max_age_seconds: float = 3600.0) -> int:
+        """Delete orphaned ``*.tmp`` files older than *max_age_seconds*
+        (age guards against sweeping a concurrent writer's live temp
+        file); returns how many were removed."""
+        now = time.time()
+        removed = 0
+        for path in self.temp_files():
+            try:
+                if now - os.path.getmtime(path) < max_age_seconds:
+                    continue
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+        self.counters["tmp_swept"] += removed
+        return removed
+
+    def gc(self, max_bytes: Optional[int] = None,
+           tmp_max_age_seconds: float = 3600.0,
+           drop_quarantine: bool = True) -> Dict[str, int]:
+        """Garbage-collect the cache: sweep stale temp files, drop
+        quarantined entries, and (with *max_bytes*) evict the
+        oldest-used live entries until the store fits the bound.
+        Returns counts: ``tmp_swept``, ``quarantine_dropped``,
+        ``evicted``, ``remaining_bytes``."""
+        import shutil
+
+        swept = self.sweep_temp(tmp_max_age_seconds)
+        quarantine_dropped = 0
+        if drop_quarantine:
+            quarantine_dropped = sum(
+                1 for _ in self._quarantined_files())
+            shutil.rmtree(self.quarantine_root, ignore_errors=True)
+        evicted = 0
+        remaining = 0
+        aged: List[Tuple[float, str, int]] = []
+        for _stage, path, size in self.iter_entries():
+            try:
+                mtime = os.path.getmtime(path)
+            except OSError:
+                continue
+            aged.append((mtime, path, size))
+            remaining += size
+        if max_bytes is not None:
+            aged.sort()  # oldest first
+            for _mtime, path, size in aged:
+                if remaining <= max_bytes:
+                    break
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                remaining -= size
+                evicted += 1
+        self.counters["evicted"] += evicted
+        return {"tmp_swept": swept,
+                "quarantine_dropped": quarantine_dropped,
+                "evicted": evicted,
+                "remaining_bytes": remaining}
 
     def stats(self) -> Dict[str, Dict[str, int]]:
         """Per-stage ``{"entries": n, "bytes": b}`` plus a total."""

@@ -11,6 +11,7 @@ Examples::
     python -m repro.harness runs --last 1 --json
     python -m repro.harness cache stats      # on-disk cache usage
     python -m repro.harness cache clear      # drop stage artifacts
+    python -m repro.harness cache gc --max-bytes 100000000   # bound it
     python -m repro.harness F6 F7 --obs      # collect telemetry
     python -m repro.harness F6 --obs --profile   # + cProfile pstats
     python -m repro.harness obs report last  # render stored telemetry
@@ -62,6 +63,11 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         default=defaults.cell_timeout, metavar="SEC",
                         help="per-cell timeout in parallel mode "
                              "(default %g)" % defaults.cell_timeout)
+    parser.add_argument("--partial", action="store_true",
+                        default=defaults.partial,
+                        help="report cells that fail every retry in "
+                             "run metadata and keep going, instead of "
+                             "aborting the sweep (REPRO_PARTIAL=1)")
     from repro.kernels import available_backends
 
     parser.add_argument("--backend", default=defaults.backend,
@@ -72,10 +78,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _engine_config(args: argparse.Namespace) -> EngineConfig:
+    defaults = config_from_env()
     return EngineConfig(jobs=max(args.jobs, 1),
                         cache=not args.no_cache,
                         cache_dir=args.cache_dir,
                         cell_timeout=args.cell_timeout,
+                        retries=defaults.retries,
+                        retry_backoff=defaults.retry_backoff,
+                        partial=args.partial or defaults.partial,
                         backend=args.backend)
 
 
@@ -132,6 +142,7 @@ def _experiments_main(argv: List[str]) -> int:
     obs_dir = os.path.join(runs_root, "obs-%s" % recorder.run_id)
 
     dumps = {}
+    failed_experiments = []
     with contextlib.ExitStack() as run_stack:
         if collector is not None:
             run_stack.enter_context(collector.tracer.span(
@@ -139,18 +150,35 @@ def _experiments_main(argv: List[str]) -> int:
         for identifier in ids:
             snapshot = engine.stats.snapshot()
             started = time.time()
-            with contextlib.ExitStack() as stack:
-                if collector is not None:
-                    stack.enter_context(collector.tracer.span(
-                        "experiment", id=identifier))
-                    if args.profile:
-                        from repro.obs.profiling import profile_into
+            try:
+                with contextlib.ExitStack() as stack:
+                    if collector is not None:
+                        stack.enter_context(collector.tracer.span(
+                            "experiment", id=identifier))
+                        if args.profile:
+                            from repro.obs.profiling import profile_into
 
-                        os.makedirs(obs_dir, exist_ok=True)
-                        stack.enter_context(profile_into(os.path.join(
-                            obs_dir,
-                            "profile-%s.pstats" % identifier)))
-                result = run_experiment(identifier, scale=args.scale)
+                            os.makedirs(obs_dir, exist_ok=True)
+                            stack.enter_context(profile_into(
+                                os.path.join(
+                                    obs_dir,
+                                    "profile-%s.pstats" % identifier)))
+                    result = run_experiment(identifier,
+                                            scale=args.scale)
+            except Exception as error:
+                # Partial mode keeps its promise one level up too: an
+                # experiment whose cells all failed cannot aggregate,
+                # so report it and move on to the survivors.
+                if not engine.config.partial:
+                    raise
+                failed_experiments.append({
+                    "id": identifier,
+                    "error": "%s: %s" % (type(error).__name__, error),
+                })
+                print("partial: experiment %s failed: %s: %s" % (
+                    identifier, type(error).__name__, error),
+                    file=sys.stderr)
+                continue
             wall = time.time() - started
             stage_delta, instructions = \
                 engine.stats.delta_since(snapshot)
@@ -190,6 +218,14 @@ def _experiments_main(argv: List[str]) -> int:
             print("stored observability artifacts: %s (render with "
                   "`repro-harness obs report %s`)"
                   % (obs_dir, recorder.run_id))
+    recorder.robustness = engine.robustness()
+    if failed_experiments:
+        recorder.robustness["failed_experiments"] = failed_experiments
+    failed = (recorder.robustness or {}).get("failed_cells") or []
+    for record in failed:
+        print("partial: cell %s failed after retries: %s" %
+              (record.get("cell"), record.get("error")),
+              file=sys.stderr)
     if not args.no_meta:
         try:
             path = recorder.write(runs_root)
@@ -198,7 +234,7 @@ def _experiments_main(argv: List[str]) -> int:
                   file=sys.stderr)
         else:
             print("recorded run metadata: %s" % path)
-    return 0
+    return 1 if failed_experiments else 0
 
 
 def _stage_note(stage_delta) -> str:
@@ -243,11 +279,25 @@ def _runs_main(argv: List[str]) -> int:
 def _cache_main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-harness cache",
-        description="Inspect or clear the on-disk stage cache.")
-    parser.add_argument("action", choices=("stats", "clear"))
+        description="Inspect, clear, or garbage-collect the on-disk "
+                    "stage cache ('gc' sweeps stale *.tmp files, "
+                    "drops quarantined entries, and with --max-bytes "
+                    "evicts oldest entries to fit the bound).")
+    parser.add_argument("action", choices=("stats", "clear", "gc"))
     parser.add_argument("--runs", action="store_true",
                         help="with 'clear': also delete recorded run "
                              "metadata")
+    parser.add_argument("--max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="with 'gc': evict oldest entries until "
+                             "the store holds at most N bytes")
+    parser.add_argument("--tmp-max-age", type=float, default=3600.0,
+                        metavar="SEC",
+                        help="with 'gc': only sweep *.tmp files older "
+                             "than SEC seconds (default 3600)")
+    parser.add_argument("--keep-quarantine", action="store_true",
+                        help="with 'gc': keep quarantined entries for "
+                             "post-mortems instead of deleting them")
     parser.add_argument("--cache-dir",
                         default=config_from_env().cache_dir,
                         metavar="DIR", help="cache root")
@@ -266,6 +316,23 @@ def _cache_main(argv: List[str]) -> int:
                   (stage, bucket["entries"], bucket["bytes"] / 1024.0))
         print("  %-10s %6d entries  %10.1f KiB" %
               ("total", total["entries"], total["bytes"] / 1024.0))
+        temp = cache.temp_files()
+        quarantine = cache.quarantine_stats()
+        print("  orphaned temp files: %d" % len(temp))
+        print("  quarantined: %d entries  %10.1f KiB" %
+              (quarantine["entries"], quarantine["bytes"] / 1024.0))
+    elif args.action == "gc":
+        report = cache.gc(max_bytes=args.max_bytes,
+                          tmp_max_age_seconds=args.tmp_max_age,
+                          drop_quarantine=not args.keep_quarantine)
+        print("cache gc: swept %d temp file%s, dropped %d "
+              "quarantined, evicted %d entr%s (%.1f KiB live)" % (
+                  report["tmp_swept"],
+                  "" if report["tmp_swept"] == 1 else "s",
+                  report["quarantine_dropped"],
+                  report["evicted"],
+                  "y" if report["evicted"] == 1 else "ies",
+                  report["remaining_bytes"] / 1024.0))
     else:
         removed = cache.clear(runs=args.runs)
         print("removed %d cache entr%s from %s" %

@@ -20,9 +20,15 @@ recomputes exactly the invalidated suffix of the graph.
 
 Independent cells fan out across a ``multiprocessing`` pool
 (``jobs > 1``) with deterministic result ordering (input order, not
-completion order), a per-cell timeout, and retry-once-serially
-robustness; ``jobs = 1`` degrades gracefully to plain in-process
-execution with no pool at all.  Results are bit-identical between
+completion order), a per-cell timeout, and supervision: a faulted
+pool cell is recomputed serially in the parent with exponential
+backoff, repeated pool faults degrade the engine to serial execution
+for the rest of the process, and with ``partial`` reporting a cell
+that fails every retry is recorded in run metadata instead of
+aborting the sweep (see :meth:`Engine.robustness` and
+``repro.harness.faults`` for the fault points that exercise all of
+this).  ``jobs = 1`` runs plain in-process with no pool at all.
+Results are bit-identical between
 serial and parallel execution and between cold and hot caches: cache
 artifacts are plain ints/bools/strings whose pickle round-trip is
 exact, and every reconstruction path rebuilds the same objects the
@@ -46,6 +52,7 @@ from repro import kernels, obs
 from repro.analysis import DeadnessAnalysis, analyze_deadness
 from repro.analysis.statics import StaticTable
 from repro.emulator import Trace, run_program
+from repro.harness import faults
 from repro.harness.cachedir import MISS, CacheDir, stable_hash, stage_salt
 from repro.kernels.base import (
     DeadnessColumns,
@@ -94,21 +101,53 @@ class EngineConfig:
     cell_timeout: float = 600.0
     #: failed/timed-out pool cells are retried serially this many times
     retries: int = 1
+    #: base delay for exponential backoff between retry attempts
+    #: (attempt *n* sleeps ``retry_backoff * 2**n`` seconds; 0 = none)
+    retry_backoff: float = 0.05
+    #: after this many pool faults in one engine lifetime the engine
+    #: degrades to serial execution for the rest of the process
+    pool_fault_limit: int = 2
+    #: report cells that fail even after retries in run metadata and
+    #: continue with the surviving cells, instead of aborting the sweep
+    partial: bool = False
     #: kernel backend name ("" = env/default resolution, see
     #: :mod:`repro.kernels`); salted into analysis/paths/timing keys
     backend: str = ""
 
 
+def _env_int(name: str, default: str) -> int:
+    text = os.environ.get(name, default)
+    try:
+        return int(text)
+    except ValueError:
+        raise ValueError(
+            "%s must be an integer, got %r" % (name, text))
+
+
+def _env_float(name: str, default: str) -> float:
+    text = os.environ.get(name, default)
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(
+            "%s must be a number, got %r" % (name, text))
+
+
 def config_from_env() -> EngineConfig:
     """Engine defaults, overridable through environment variables
     (``REPRO_JOBS``, ``REPRO_CACHE=0``, ``REPRO_CACHE_DIR``,
-    ``REPRO_CELL_TIMEOUT``, ``REPRO_BACKEND``) so embeddings like
-    pytest pick them up without plumbing flags."""
+    ``REPRO_CELL_TIMEOUT``, ``REPRO_RETRIES``, ``REPRO_RETRY_BACKOFF``,
+    ``REPRO_PARTIAL=1``, ``REPRO_BACKEND``) so embeddings like pytest
+    pick them up without plumbing flags.  Malformed numeric values
+    raise ``ValueError`` naming the offending variable."""
     return EngineConfig(
-        jobs=int(os.environ.get("REPRO_JOBS", "1")),
+        jobs=_env_int("REPRO_JOBS", "1"),
         cache=os.environ.get("REPRO_CACHE", "1") != "0",
         cache_dir=os.environ.get("REPRO_CACHE_DIR", ".repro-cache"),
-        cell_timeout=float(os.environ.get("REPRO_CELL_TIMEOUT", "600")),
+        cell_timeout=_env_float("REPRO_CELL_TIMEOUT", "600"),
+        retries=_env_int("REPRO_RETRIES", "1"),
+        retry_backoff=_env_float("REPRO_RETRY_BACKOFF", "0.05"),
+        partial=os.environ.get("REPRO_PARTIAL", "0") == "1",
         backend=os.environ.get("REPRO_BACKEND", ""),
     )
 
@@ -127,6 +166,12 @@ class StageStats:
         self.counts: Dict[str, Dict[str, float]] = {}
         self.instructions = 0
         self.retries = 0
+        #: pool-level faults seen (worker crash/hang/timeout or an
+        #: unpicklable result payload); drives serial degradation
+        self.pool_faults = 0
+        #: cells that failed even after retries, in partial mode:
+        #: ``[{"cell": ..., "error": ...}, ...]``
+        self.failed_cells: List[Dict[str, str]] = []
 
     def add(self, stage: str, hit: bool, seconds: float) -> None:
         bucket = self.counts.setdefault(
@@ -213,16 +258,32 @@ def _bytes_to_bools(blob: bytes) -> List[bool]:
 
 
 def _compute_cell_payload(spec: CellSpec,
-                          config: EngineConfig) -> Dict[str, object]:
+                          config: EngineConfig,
+                          cache: Optional[CacheDir] = None,
+                          injected: Tuple[str, ...] = ()
+                          ) -> Dict[str, object]:
     """Run one cell's compile → trace → analysis chain, using and
     populating the on-disk cache.  Top-level so pool workers can
-    execute it; returns only plainly picklable data."""
+    execute it; returns only plainly picklable data.
+
+    *cache* lets the serial path reuse the engine's own
+    :class:`CacheDir` handle so its robustness counters accrue in one
+    place; pool workers pass ``None`` and build their own.  *injected*
+    carries the worker-level fault points the parent drew for this
+    dispatch (:func:`repro.harness.faults.draw_cell_faults`).
+    """
+    if "worker.hang" in injected:
+        time.sleep(faults.hang_seconds())
+    if "worker.crash" in injected:
+        raise faults.WorkerCrash(
+            "injected worker crash in cell %s" % spec.describe())
     if config.backend:
         # Pool workers may be spawned (not forked): pin the kernel
         # backend from the config so workers and parent always agree
         # with the backend salt in the keys below.
         kernels.set_default_backend(config.backend)
-    cache = CacheDir(config.cache_dir) if config.cache else None
+    if cache is None and config.cache:
+        cache = CacheDir(config.cache_dir)
     workload = get_workload(spec.workload)
     source = workload.source(spec.scale)
     stages: Dict[str, Dict[str, object]] = {}
@@ -306,7 +367,7 @@ def _compute_cell_payload(spec: CellSpec,
     stages["analysis"] = {"hit": hit,
                           "seconds": time.perf_counter() - started}
 
-    return {
+    payload: Dict[str, object] = {
         "compile_key": compile_key,
         "trace_key": trace_key,
         "analysis_key": analysis_key,
@@ -316,6 +377,11 @@ def _compute_cell_payload(spec: CellSpec,
         "fused": fused_doc,
         "stages": stages,
     }
+    if "artifact.unpicklable" in injected:
+        # Poison the result pipe: the pool's encoder fails to pickle
+        # this, the parent sees the error and recomputes serially.
+        payload["_poison"] = lambda: None
+    return payload
 
 
 def _fused_to_doc(fused: FusedColumns) -> Dict[str, object]:
@@ -395,12 +461,12 @@ def _simulate_key(trace_key: str, machine_config: MachineConfig,
 
 
 def _prefetch_sim_worker(args: Tuple[CellSpec, MachineConfig,
-                                     EngineConfig]
+                                     EngineConfig, Tuple[str, ...]]
                          ) -> Tuple[str, PipelineResult, float]:
     """Pool worker: materialize a (hot-cache) cell, run one timing
     simulation, persist it, and return it for the in-memory memo."""
-    spec, machine_config, config = args
-    payload = _compute_cell_payload(spec, config)
+    spec, machine_config, config, injected = args
+    payload = _compute_cell_payload(spec, config, injected=injected)
     artifact = _payload_to_artifact(spec, payload)
     key = _simulate_key(artifact.trace_key, machine_config,
                         artifact.analysis)
@@ -438,22 +504,38 @@ class Engine:
             CacheDir(self.config.cache_dir) if self.config.cache
             else None)
         self.stats = StageStats()
+        #: set once ``pool_fault_limit`` pool faults accumulate: the
+        #: engine stops using worker pools for the rest of its life
+        self._pool_degraded = False
         #: in-memory memo for timing results (tiny objects); serves
         #: repeated simulations and prefetched no-cache results
         self._sim_memo: Dict[str, PipelineResult] = {}
 
     # -- cells --------------------------------------------------------
 
-    def run_cells(self, specs: Sequence[CellSpec]) -> List[CellArtifact]:
+    def run_cells(self, specs: Sequence[CellSpec],
+                  partial: Optional[bool] = None) -> List[CellArtifact]:
         """Execute every cell; results in input order regardless of
-        worker completion order."""
-        if self.config.jobs <= 1 or len(specs) <= 1:
-            payloads = [self._cell_with_retry(spec) for spec in specs]
+        worker completion order.
+
+        With *partial* (default: ``config.partial``) a cell that still
+        fails after every retry is dropped from the result list and
+        reported in ``stats.failed_cells`` (and from there in run
+        metadata), instead of aborting the whole sweep.
+        """
+        if partial is None:
+            partial = self.config.partial
+        if (self.config.jobs <= 1 or len(specs) <= 1
+                or self._pool_degraded):
+            payloads = [self._serial_cell(spec, partial)
+                        for spec in specs]
         else:
-            payloads = self._run_cells_pool(specs)
+            payloads = self._run_cells_pool(specs, partial)
         collector = obs.get_collector()
         artifacts = []
         for spec, payload in zip(specs, payloads):
+            if payload is None:  # failed cell in partial mode
+                continue
             self.stats.merge_stage_report(payload["stages"])
             self.stats.instructions += len(payload["pcs"])
             if collector is not None:
@@ -482,37 +564,111 @@ class Engine:
                 stage=stage).observe(seconds)
 
     def _cell_with_retry(self, spec: CellSpec) -> Dict[str, object]:
+        """Compute one cell serially, retrying with exponential
+        backoff (``retry_backoff * 2**attempt`` seconds between
+        attempts).  A persistent failure still raises."""
         attempts = 1 + max(self.config.retries, 0)
         for attempt in range(attempts):
             try:
-                return _compute_cell_payload(spec, self.config)
+                return _compute_cell_payload(
+                    spec, self.config, self.cache,
+                    faults.draw_cell_faults(pool=False))
             except Exception:
                 if attempt + 1 == attempts:
                     raise
-                self.stats.retries += 1
+                self._note_retry()
+                delay = self.config.retry_backoff * (2 ** attempt)
+                if delay > 0:
+                    time.sleep(delay)
         raise AssertionError("unreachable")
 
-    def _run_cells_pool(self,
-                        specs: Sequence[CellSpec]
-                        ) -> List[Dict[str, object]]:
+    def _serial_cell(self, spec: CellSpec,
+                     partial: bool) -> Optional[Dict[str, object]]:
+        """One cell through the retry ladder; in partial mode a
+        persistent failure is recorded instead of raised."""
+        try:
+            return self._cell_with_retry(spec)
+        except Exception as error:
+            if not partial:
+                raise
+            self.stats.failed_cells.append({
+                "cell": spec.describe(),
+                "error": "%s: %s" % (type(error).__name__, error),
+            })
+            obs.metrics().counter(
+                "repro_cells_failed_total",
+                "cells dropped after exhausting retries").inc()
+            return None
+
+    def _note_retry(self) -> None:
+        self.stats.retries += 1
+        obs.metrics().counter(
+            "repro_cell_retries_total", "cell retry attempts").inc()
+
+    def _note_pool_fault(self) -> None:
+        """One pool-level fault (crash/hang/timeout/unpicklable
+        result); enough of them trips serial degradation."""
+        self.stats.pool_faults += 1
+        obs.metrics().counter(
+            "repro_pool_faults_total", "pool worker faults").inc()
+        if (not self._pool_degraded
+                and self.stats.pool_faults
+                >= max(self.config.pool_fault_limit, 1)):
+            self._pool_degraded = True
+            obs.metrics().counter(
+                "repro_pool_degraded_total",
+                "engines degraded from pool to serial").inc()
+
+    def _run_cells_pool(self, specs: Sequence[CellSpec],
+                        partial: bool
+                        ) -> List[Optional[Dict[str, object]]]:
+        """Fan cells across a pool with supervision: each faulted cell
+        is recomputed serially in the parent, and after
+        ``pool_fault_limit`` faults the engine abandons the pool (this
+        call and every later one run serially — graceful degradation
+        on machines where workers keep dying)."""
         workers = min(self.config.jobs, len(specs))
-        payloads: List[Optional[Dict[str, object]]] = [None] * len(specs)
+        payloads: List[Optional[Dict[str, object]]] = \
+            [None] * len(specs)
+        done = [False] * len(specs)
         context = _pool_context()
-        with context.Pool(processes=workers) as pool:
-            pending = [pool.apply_async(_compute_cell_payload,
-                                        (spec, self.config))
-                       for spec in specs]
+        try:
+            pool = context.Pool(processes=workers)
+        except Exception:
+            self._note_pool_fault()
+            self._pool_degraded = True
+            return [self._serial_cell(spec, partial) for spec in specs]
+        try:
+            pending = [
+                pool.apply_async(
+                    _compute_cell_payload,
+                    (spec, self.config, None,
+                     faults.draw_cell_faults(pool=True)))
+                for spec in specs]
             for index, handle in enumerate(pending):
                 try:
-                    payloads[index] = handle.get(self.config.cell_timeout)
+                    payloads[index] = handle.get(
+                        self.config.cell_timeout)
+                    done[index] = True
                 except Exception:
-                    # Worker crash, unpicklable error, or timeout:
-                    # recompute this cell serially in the parent
-                    # (retry-once robustness).  A genuine bug still
-                    # raises on the retry.
-                    self.stats.retries += 1
-                    payloads[index] = self._cell_with_retry(specs[index])
-        return payloads  # type: ignore[return-value]
+                    # Worker crash, unpicklable result, or timeout:
+                    # recompute this cell serially in the parent.  A
+                    # genuine bug still raises on the retry (unless
+                    # partial reporting is on).
+                    self._note_pool_fault()
+                    self._note_retry()
+                    payloads[index] = self._serial_cell(specs[index],
+                                                        partial)
+                    done[index] = True
+                    if self._pool_degraded:
+                        break
+        finally:
+            pool.terminate()
+            pool.join()
+        for index, spec in enumerate(specs):
+            if not done[index]:
+                payloads[index] = self._serial_cell(spec, partial)
+        return payloads
 
     # -- timing stage -------------------------------------------------
 
@@ -597,7 +753,8 @@ class Engine:
         or disk; any prefetch failure silently falls back."""
         if self.config.jobs <= 1:
             return
-        todo: List[Tuple[CellSpec, MachineConfig, EngineConfig]] = []
+        todo: List[Tuple[CellSpec, MachineConfig, EngineConfig,
+                         Tuple[str, ...]]] = []
         for run, machine_config in items:
             trace_key = getattr(run, "cache_key", None) or \
                 getattr(run, "trace_key", None)
@@ -609,8 +766,9 @@ class Engine:
             if self.cache and os.path.exists(
                     self.cache.entry_path("timing", key)):
                 continue
-            todo.append((run.spec, machine_config, self.config))
-        if not todo:
+            todo.append((run.spec, machine_config, self.config,
+                         faults.draw_cell_faults(pool=True)))
+        if not todo or self._pool_degraded:
             return
         workers = min(self.config.jobs, len(todo))
         context = _pool_context()
@@ -622,7 +780,9 @@ class Engine:
                     key, result, _seconds = handle.get(
                         self.config.cell_timeout)
                 except Exception:
-                    self.stats.retries += 1
+                    # Purely an accelerator: a faulted prefetch cell
+                    # just falls back to the serial simulate path.
+                    self._note_pool_fault()
                     continue
                 self._sim_memo[key] = result
 
@@ -672,8 +832,28 @@ class Engine:
             "cache": self.config.cache,
             "cache_dir": os.path.abspath(self.config.cache_dir),
             "cell_timeout": self.config.cell_timeout,
+            "retries": self.config.retries,
+            "partial": self.config.partial,
             "backend": kernels.default_backend_name(),
         }
+
+    def robustness(self) -> Dict[str, object]:
+        """Everything the robustness contract promises to report:
+        retry/pool-fault/degradation counters, cache store-error and
+        quarantine tallies, injected-fault counts, and any cells
+        dropped in partial mode.  Lands in run metadata and is
+        rendered by ``obs report``."""
+        document: Dict[str, object] = {
+            "retries": self.stats.retries,
+            "pool_faults": self.stats.pool_faults,
+            "degraded_to_serial": self._pool_degraded,
+            "failed_cells": [dict(cell)
+                             for cell in self.stats.failed_cells],
+            "faults_injected": faults.fired_counts(),
+        }
+        if self.cache is not None:
+            document["cache"] = dict(self.cache.counters)
+        return document
 
 
 # ---------------------------------------------------------------------

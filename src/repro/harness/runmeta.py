@@ -17,7 +17,10 @@ machine-readable provenance document under ``<cache>/runs/``::
                     "paths": {...}, "timing": {...}}},
         ...
       ],
-      "totals": {"wall_s": ..., "stages": {...}, "instructions": ...}
+      "totals": {"wall_s": ..., "stages": {...}, "instructions": ...},
+      "robustness": {"retries": 0, "pool_faults": 0,
+                     "degraded_to_serial": false, "failed_cells": [],
+                     "faults_injected": {}, "cache": {...}}
     }
 
 ``wall_s`` is per-experiment wall time; ``stages`` are the engine's
@@ -66,6 +69,10 @@ class RunRecorder:
     #: ``{"dir": ..., "spans": {name: {count, seconds}},
     #: "artifacts": [...]}`` — see ``repro.obs`` and the ``obs`` CLI
     obs: Optional[Dict[str, object]] = None
+    #: robustness summary (``Engine.robustness()``): retries, pool
+    #: faults, serial degradation, cache store-error/quarantine
+    #: counts, injected faults, and cells dropped in partial mode
+    robustness: Optional[Dict[str, object]] = None
 
     def record(self, experiment_id: str, wall_s: float,
                stage_delta: Dict[str, Dict[str, object]],
@@ -105,6 +112,8 @@ class RunRecorder:
         }
         if self.obs:
             document["obs"] = dict(self.obs)
+        if self.robustness is not None:
+            document["robustness"] = dict(self.robustness)
         return document
 
     def write(self, runs_root: str) -> str:

@@ -105,8 +105,13 @@ class SweepExecutor:
 
     def prefetch(self, *configs: MachineConfig) -> None:
         """Warm the engine's timing stage for every (run, config) cell
-        in parallel (no-op for serial engines); the sweep's own loops
-        then read results back in deterministic suite order."""
+        in parallel (no-op for serial or pool-degraded engines); the
+        sweep's own loops then read results back in deterministic
+        suite order.  Purely an accelerator: a crashed or hung
+        prefetch worker is counted as a pool fault and its cell falls
+        back to the serial ``simulate`` path, so sweep results never
+        depend on prefetch succeeding (docs/harness.md, "Robustness
+        contract")."""
         self.engine.prefetch_simulations(
             [(run, config) for run in self.runs for config in configs])
 

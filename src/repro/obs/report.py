@@ -29,6 +29,7 @@ __all__ = [
     "obs_dir_for",
     "render_kernel_passes",
     "render_report",
+    "render_robustness",
     "render_timelines",
     "resolve_run",
 ]
@@ -155,6 +156,47 @@ def render_kernel_passes(spans: List[Dict[str, object]]) -> str:
     return "\n".join(lines)
 
 
+def render_robustness(run_doc: Dict[str, object]) -> str:
+    """The run's robustness section: retries, pool faults, serial
+    degradation, cache store-error/quarantine tallies, injected
+    faults, and cells dropped in partial mode (``Engine.robustness``
+    via run metadata)."""
+    doc = run_doc.get("robustness")
+    if not isinstance(doc, dict):
+        return ("no robustness data recorded "
+                "(run metadata predates the robustness contract)")
+    lines = ["retries %d   pool faults %d   degraded to serial: %s" % (
+        doc.get("retries", 0), doc.get("pool_faults", 0),
+        "yes" if doc.get("degraded_to_serial") else "no")]
+    cache = doc.get("cache") or {}
+    lines.append("cache: store errors %d, quarantined %d, "
+                 "tmp swept %d, evicted %d" % (
+                     cache.get("store_errors", 0),
+                     cache.get("quarantined", 0),
+                     cache.get("tmp_swept", 0),
+                     cache.get("evicted", 0)))
+    injected = doc.get("faults_injected") or {}
+    if injected:
+        lines.append("faults injected: " + ", ".join(
+            "%s=%d" % (point, count)
+            for point, count in sorted(injected.items())))
+    failed = doc.get("failed_cells") or []
+    if failed:
+        lines.append("failed cells (%d, dropped in partial mode):"
+                     % len(failed))
+        for record in failed:
+            lines.append("  %s: %s" % (record.get("cell", "?"),
+                                       record.get("error", "?")))
+    experiments = doc.get("failed_experiments") or []
+    if experiments:
+        lines.append("failed experiments (%d, skipped in partial "
+                     "mode):" % len(experiments))
+        for record in experiments:
+            lines.append("  %s: %s" % (record.get("id", "?"),
+                                       record.get("error", "?")))
+    return "\n".join(lines)
+
+
 def render_report(run_doc: Dict[str, object],
                   obs: Dict[str, object],
                   top: int = 10) -> str:
@@ -169,6 +211,9 @@ def render_report(run_doc: Dict[str, object],
         run_doc.get("started_at", "?"),
         ",".join(experiments) or "-",
         totals.get("wall_s", 0.0)))
+    lines.append("")
+    lines.append("-- robustness --")
+    lines.append(render_robustness(run_doc))
     if not run_doc.get("obs"):
         lines.append("")
         lines.append("this run recorded no observability artifacts "

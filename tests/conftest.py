@@ -10,6 +10,17 @@ from repro.isa import assemble
 from repro.lang import CompilerOptions, compile_to_program
 
 
+@pytest.fixture(autouse=True)
+def _no_leaking_faults():
+    """Fault injection is process-global state; never let one test's
+    plan bleed into the next."""
+    from repro.harness import faults
+
+    faults.reset_faults()
+    yield
+    faults.reset_faults()
+
+
 @pytest.fixture
 def simple_loop_program():
     """Sum 1..10, print 55, with a data word for good measure."""
