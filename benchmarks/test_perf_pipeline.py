@@ -1,0 +1,145 @@
+"""Pipeline + kernel hot-path benchmarks (``BENCH_pipeline.json``).
+
+Where ``test_perf_simulators.py`` guards the legacy-vs-fused analysis
+structure, this file characterizes the per-pass kernel timings behind
+the block front end introduced with the ``columnar`` backend: for every
+registered backend it records a cold and a hot per-pass table (the
+``kernel:<pass>`` spans — fused, prediction stream, front-end columns,
+static-index decode), the simulator wall time in ``scalar`` and
+``block`` front-end modes, and the headline hot-path comparison the
+acceptance gate cares about — the fused pass plus the pipeline
+front-end pass, ``columnar`` vs ``python``, asserted at >= 2x.
+
+Run with ``pytest benchmarks/`` (NumPy-dependent parts skip cleanly
+when the optional dependency is absent); ``BENCH_pipeline.json`` is
+rewritten at the repo root, next to ``BENCH_kernels.json``.  See
+``docs/benchmarks.md`` for the trajectory format.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import kernels
+from repro.analysis import analyze_deadness
+from repro.pipeline import default_config, simulate
+from repro.pipeline.core import _classify_fu
+from repro.workloads import get_workload
+
+#: timing reruns; minimum filters scheduler noise
+ROUNDS = 5
+
+
+@pytest.fixture(scope="module")
+def traced():
+    workload = get_workload("pchase")
+    _, trace = workload.run(scale=0.5)
+    return workload, trace, analyze_deadness(trace)
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _pass_table(backend, trace, analysis, fu, hot):
+    """One per-pass ``kernel:<pass>`` timing table: run every pass
+    once and harvest :func:`kernels.pass_totals`.  *hot* reuses one
+    decoded table (per-trace array caches warm); cold decodes fresh
+    so per-backend preparation is included."""
+    dead = analysis.dead
+
+    def passes(decoded):
+        backend.fused(decoded)
+        backend.prediction_stream(decoded, dead)
+        backend.frontend(decoded, fu)
+
+    if hot:
+        decoded = kernels.decode(trace, analysis.statics)
+        passes(decoded)  # warm the backend's per-trace caches
+        kernels.reset_pass_totals()
+        backend.static_indices(trace)
+        passes(decoded)
+    else:
+        kernels.reset_pass_totals()
+        backend.static_indices(trace)
+        passes(kernels.DecodedTrace(trace, analysis.statics,
+                                    backend.static_indices(trace)))
+    totals = kernels.pass_totals()
+    kernels.reset_pass_totals()
+    return {name: {"calls": bucket["calls"],
+                   "items": bucket["items"],
+                   "seconds": round(bucket["seconds"], 6)}
+            for name, bucket in sorted(totals.items())}
+
+
+def _hot_path_seconds(backend, trace, analysis, fu):
+    """The acceptance-gate composite: the fused backward pass plus the
+    pipeline front-end pass over one warm decoded table."""
+    decoded = kernels.decode(trace, analysis.statics)
+    backend.fused(decoded)
+    backend.frontend(decoded, fu)
+
+    def run():
+        backend.fused(decoded)
+        backend.frontend(decoded, fu)
+
+    return _best_of(run)
+
+
+def test_perf_pipeline_passes(benchmark, traced):
+    _, trace, analysis = traced
+    fu = _classify_fu(analysis.statics)
+    config = default_config()
+
+    doc = {
+        "workload": trace.program.name,
+        "dynamic": len(trace),
+        "backends": {},
+        "simulate": {},
+    }
+    hot_path = {}
+    for name in kernels.available_backends():
+        backend = kernels.get_backend(name)
+        hot_path[name] = _hot_path_seconds(backend, trace, analysis,
+                                           fu)
+        doc["backends"][name] = {
+            "cold_passes": _pass_table(backend, trace, analysis, fu,
+                                       hot=False),
+            "hot_passes": _pass_table(backend, trace, analysis, fu,
+                                      hot=True),
+            "hot_path_s": round(hot_path[name], 6),
+        }
+
+    for mode in ("scalar", "block"):
+        doc["simulate"][mode] = round(_best_of(
+            lambda mode=mode: simulate(trace, config, analysis,
+                                       frontend=mode), 3), 6)
+    if "columnar" in hot_path:
+        doc["hot_path_speedup_columnar_vs_python"] = round(
+            hot_path["python"] / hot_path["columnar"], 3)
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    with open(os.path.join(root, "BENCH_pipeline.json"), "w") as stream:
+        json.dump(doc, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+    def run():
+        return simulate(trace, config, analysis).stats.cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles > 0
+
+    if not kernels.HAVE_NUMPY:
+        pytest.skip("NumPy absent: columnar backend not registered, "
+                    "speedup gate not applicable")
+    assert hot_path["python"] / hot_path["columnar"] >= 2.0, \
+        "columnar fused+frontend hot path under 2x vs python: %r" % (
+            {k: round(v, 4) for k, v in hot_path.items()},)

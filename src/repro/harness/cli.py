@@ -307,9 +307,14 @@ def _cache_main(argv: List[str]) -> int:
 
     cache = CacheDir(args.cache_dir)
     if args.action == "stats":
+        from repro import kernels
+
         stats = cache.stats()
         total = stats.pop("total")
         print("cache root: %s" % cache.root)
+        print("active backend: %s (%s)" %
+              (kernels.default_backend_name(),
+               kernels.backend_fingerprint()))
         for stage in sorted(stats):
             bucket = stats[stage]
             print("  %-10s %6d entries  %10.1f KiB" %

@@ -835,6 +835,7 @@ class Engine:
             "retries": self.config.retries,
             "partial": self.config.partial,
             "backend": kernels.default_backend_name(),
+            "backend_fingerprint": kernels.backend_fingerprint(),
         }
 
     def robustness(self) -> Dict[str, object]:

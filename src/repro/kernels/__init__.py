@@ -8,7 +8,11 @@ columns, behind a backend registry:
 * ``python``  — the reference backend (:mod:`repro.kernels.ref`), the
   byte-exact port of the original per-consumer loops;
 * ``batched`` — bulk column operations (:mod:`repro.kernels.batched`),
-  byte-identical by contract and enforced by the property suite.
+  byte-identical by contract and enforced by the property suite;
+* ``columnar`` — NumPy array operations
+  (:mod:`repro.kernels.columnar`); registered only when the optional
+  NumPy dependency is importable (``HAVE_NUMPY``), same byte-identity
+  contract.
 
 Select a backend with ``REPRO_BACKEND=<name>``, the engine's
 ``--backend`` flag / :class:`~repro.harness.engine.EngineConfig`, or
@@ -31,6 +35,7 @@ from typing import Optional
 from repro.kernels.base import (
     DeadnessColumns,
     DecodedTrace,
+    FrontendColumns,
     FusedColumns,
     KernelBackend,
     KillColumns,
@@ -46,15 +51,22 @@ from repro.kernels.base import (
     set_default_backend,
 )
 from repro.kernels.batched import BatchedBackend
+from repro.kernels.columnar import HAVE_NUMPY
 from repro.kernels.ref import PythonBackend
 
 register_backend(PythonBackend())
 register_backend(BatchedBackend())
+if HAVE_NUMPY:
+    from repro.kernels.columnar import ColumnarBackend
+
+    register_backend(ColumnarBackend())
 
 __all__ = [
     "DeadnessColumns",
     "DecodedTrace",
+    "FrontendColumns",
     "FusedColumns",
+    "HAVE_NUMPY",
     "KernelBackend",
     "KillColumns",
     "PredictionStream",

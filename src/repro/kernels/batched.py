@@ -26,7 +26,7 @@ workloads.
 from __future__ import annotations
 
 from collections import Counter
-from itertools import compress
+from itertools import accumulate, chain, compress
 from typing import Dict, List, Optional, Sequence
 
 from repro.isa.program import TEXT_BASE
@@ -34,6 +34,7 @@ from repro.isa.registers import NUM_REGS
 from repro.kernels.base import (
     DeadnessColumns,
     DecodedTrace,
+    FrontendColumns,
     FusedColumns,
     KernelBackend,
     KillColumns,
@@ -119,6 +120,23 @@ class BatchedBackend(KernelBackend):
             eligible_dead=list(compress(dead, e_col)),
             branch_index=list(compress(range(n), b_col)),
             branch_taken=list(compress(trace.taken, b_col)))
+
+    def _frontend(self, decoded: DecodedTrace,
+                  fu: Sequence[int]) -> FrontendColumns:
+        sidx = decoded.sidx
+        statics = decoded.statics
+        control_col = _gather(statics.is_branch, sidx)
+        cond_col = _gather(statics.is_cond_branch, sidx)
+        return FrontendColumns(
+            dest=_gather(statics.dest, sidx),
+            src1=_gather(statics.src1, sidx),
+            src2=_gather(statics.src2, sidx),
+            is_load=_gather(statics.is_load, sidx),
+            is_store=_gather(statics.is_store, sidx),
+            eligible=_gather(statics.eligible, sidx),
+            fu=_gather(fu, sidx),
+            control_index=list(compress(range(len(sidx)), control_col)),
+            cond_prefix=list(accumulate(chain((0,), map(int, cond_col)))))
 
 
 def _backward_pass(decoded: DecodedTrace, track_stores: bool,

@@ -211,6 +211,11 @@ def render_report(run_doc: Dict[str, object],
         run_doc.get("started_at", "?"),
         ",".join(experiments) or "-",
         totals.get("wall_s", 0.0)))
+    engine = run_doc.get("engine") or {}
+    if engine.get("backend"):
+        lines.append("kernel backend: %s (%s)" % (
+            engine.get("backend", "?"),
+            engine.get("backend_fingerprint", "?")))
     lines.append("")
     lines.append("-- robustness --")
     lines.append(render_robustness(run_doc))

@@ -5,6 +5,17 @@ Stage order within a cycle is commit -> issue -> rename -> fetch, so a
 resource freed at commit is available to rename in the same cycle
 (idealized but consistent across configurations).
 
+Front-end modes (``frontend=`` / ``REPRO_FRONTEND``): the default
+``block`` mode consumes pre-decoded column blocks from the active
+kernel backend's ``frontend`` pass — the fetch buffer is a contiguous
+trace window advanced block-wise (next-stopper bisect + conditional
+prefix sums for the branch counters), rename reads per-dynamic gathered
+columns, and the gshare/RAS precomputation walks only control
+instructions.  ``scalar`` keeps the original per-instruction dispatch
+as the reference; both modes are cycle-exact equals (enforced by
+``tests/test_pipeline_frontend.py``) and share the commit / issue /
+recovery machinery, timeline sampling, and obs hooks unchanged.
+
 Rename-map conventions: ``rat[arch]`` holds an ``int`` physical
 register, or an :class:`InFlight` object when the architectural
 register was last written by an *eliminated* (predicted-dead)
@@ -39,10 +50,13 @@ Soundness invariants of the elimination machinery (DESIGN.md §5.6):
 
 from __future__ import annotations
 
+import os
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import kernels
 from repro.analysis.liveness import DeadnessAnalysis, analyze_deadness
 from repro.analysis.statics import StaticTable
 from repro.emulator.trace import Trace
@@ -173,11 +187,54 @@ def _control_flags(trace: Trace, statics: StaticTable,
     return mispredict, ends_group
 
 
+def _control_flags_sparse(trace: Trace, statics: StaticTable,
+                          config: MachineConfig, columns):
+    """Sparse twin of :func:`_control_flags` for the block front end:
+    the gshare/RAS walk visits only control instructions (non-branches
+    never touch predictor state, so the prediction sequence is
+    identical to the full scan).  Returns the full per-dynamic
+    mispredict flag column plus the ascending list of fetch *stoppers*
+    — actual-taken control transfers and mispredicted branches, the
+    indices where a fetch block must end."""
+    gshare = GshareBranchPredictor(config.gshare_entries,
+                                   config.gshare_history)
+    ras = ReturnAddressStack(config.ras_depth)
+    pcs = trace.pcs
+    taken = trace.taken
+    n = len(pcs)
+    sidx = trace.static_indices()
+    is_cond = statics.is_cond_branch
+    opcode = statics.opcode
+    mispredict = [False] * n
+    stops: List[int] = []
+    for i in columns.control_index:
+        si = sidx[i]
+        if is_cond[si]:
+            outcome = taken[i]
+            predicted = gshare.predict_and_update(pcs[i], outcome)
+            if predicted != outcome:
+                mispredict[i] = True
+                stops.append(i)
+            elif outcome:
+                stops.append(i)
+        else:
+            stops.append(i)
+            op = opcode[si]
+            if op == Opcode.JAL:
+                ras.push(pcs[i] + 4)
+            elif op == Opcode.JALR:
+                actual_target = pcs[i + 1] if i + 1 < n else -1
+                if not ras.predict_return(actual_target):
+                    mispredict[i] = True
+    return mispredict, stops
+
+
 class Simulator:
     """Trace-driven out-of-order timing simulation of one run."""
 
     def __init__(self, trace: Trace, config: MachineConfig = None,
-                 analysis: DeadnessAnalysis = None):
+                 analysis: DeadnessAnalysis = None,
+                 frontend: Optional[str] = None):
         self.trace = trace
         self.config = config if config is not None else default_config()
         if analysis is None:
@@ -189,9 +246,24 @@ class Simulator:
         self.elimination: Optional[EliminationEngine] = None
         if self.config.eliminate:
             self.elimination = EliminationEngine(self.config, analysis)
-        self._mispredict, self._ends_group = _control_flags(
-            trace, self.statics, self.config)
         self._fu_class = _classify_fu(self.statics)
+        if frontend is None:
+            frontend = os.environ.get("REPRO_FRONTEND") or "block"
+        if frontend not in ("block", "scalar"):
+            raise ValueError("unknown frontend mode: %r" % (frontend,))
+        self.frontend = frontend
+        if frontend == "block":
+            decoded = kernels.decode(trace, self.statics)
+            self._columns = kernels.get_backend().frontend(
+                decoded, self._fu_class)
+            self._mispredict, self._stops = _control_flags_sparse(
+                trace, self.statics, self.config, self._columns)
+            self._ends_group = None
+        else:
+            self._columns = None
+            self._stops = None
+            self._mispredict, self._ends_group = _control_flags(
+                trace, self.statics, self.config)
         #: cycle-sampled telemetry; None (the default) costs one
         #: ``is not None`` test per cycle in the main loop.
         self.timeline = new_timeline()
@@ -220,10 +292,24 @@ class Simulator:
         s_eligible = statics.eligible
         s_load = statics.is_load
         s_store = statics.is_store
+        s_cond = statics.is_cond_branch
         fu_class = self._fu_class
         latencies = self._latency
         mispredict_flags = self._mispredict
         ends_group = self._ends_group
+        columns = self._columns
+        use_block = columns is not None
+        if use_block:
+            f_dest = columns.dest
+            f_src1 = columns.src1
+            f_src2 = columns.src2
+            f_load = columns.is_load
+            f_store = columns.is_store
+            f_eligible = columns.eligible
+            f_fu = columns.fu
+            cond_prefix = columns.cond_prefix
+            stops = self._stops
+            n_stops = len(stops)
         elim = self.elimination
         train_stores = config.eliminate_stores
         use_replay = config.recovery_mode == "replay"
@@ -244,10 +330,14 @@ class Simulator:
         rob: deque = deque()
         iq: List[InFlight] = []
         lsq_used = 0
-        fetch_queue: deque = deque()
+        # The fetch buffer is always the contiguous trace window
+        # [fq_head, fq_tail): fetch appends at the tail, rename
+        # consumes at the head, a flush collapses both to the refetch
+        # point.  Two ints replace the old per-instruction deque.
+        fq_head = 0
+        fq_tail = 0
         fetch_buffer_cap = 3 * config.fetch_width
 
-        fetch_idx = 0
         fetch_resume = 0
         rename_blocked_until = 0
         committed = 0
@@ -257,6 +347,21 @@ class Simulator:
         fu_limits = (config.alu_units, config.mul_units, config.div_units,
                      config.mem_ports, config.branch_units)
 
+        # Hot per-cycle config reads as locals (dataclass attribute
+        # access is a dict lookup per read; the cycle loop makes
+        # several per instruction).
+        commit_width = config.commit_width
+        issue_width = config.issue_width
+        rename_width = config.rename_width
+        fetch_width = config.fetch_width
+        rob_size = config.rob_size
+        iq_size = config.iq_size
+        lsq_size = config.lsq_size
+        rf_read_ports = config.rf_read_ports
+        verify_timeout = config.verify_timeout
+        eliminate_stores = config.eliminate_stores
+        stop_ptr = 0
+
         while committed < n:
             if cycle >= max_cycles:
                 raise RuntimeError("simulation did not finish in %d cycles"
@@ -264,13 +369,13 @@ class Simulator:
 
             # ---- commit ----
             commits = 0
-            while rob and commits < config.commit_width:
+            while rob and commits < commit_width:
                 head = rob[0]
                 if head.eliminated:
                     if not head.commit_ready():
                         stats.verify_stall_cycles += 1
                         head.stall_cycles += 1
-                        if head.stall_cycles > config.verify_timeout:
+                        if head.stall_cycles > verify_timeout:
                             stats.timeout_recoveries += 1
                             chain = self._collect_chain(head)
                             new_lsq = None
@@ -286,8 +391,10 @@ class Simulator:
                             else:
                                 self._flush(chain[0], rob, iq, rat,
                                             free_list)
-                                fetch_queue.clear()
-                                fetch_idx = chain[0].tidx
+                                fq_head = fq_tail = chain[0].tidx
+                                if use_block:
+                                    stop_ptr = bisect_left(stops,
+                                                           fq_tail)
                                 fetch_resume = cycle + \
                                     config.recovery_penalty
                                 lsq_used = self._recount_lsq(rob)
@@ -331,14 +438,14 @@ class Simulator:
 
             # ---- issue ----
             fu_used = [0, 0, 0, 0, 0]
-            rf_reads_left = config.rf_read_ports
+            rf_reads_left = rf_read_ports
             issued = 0
             if iq:
                 remaining: List[InFlight] = []
                 for entry in iq:
                     if entry.squashed:
                         continue
-                    if issued >= config.issue_width:
+                    if issued >= issue_width:
                         remaining.append(entry)
                         continue
                     fu = entry.fu
@@ -379,31 +486,44 @@ class Simulator:
             # ---- rename / dispatch ----
             renamed = 0
             flush_fired = False
-            while (renamed < config.rename_width and fetch_queue
+            while (renamed < rename_width and fq_head < fq_tail
                    and cycle >= rename_blocked_until):
-                tidx = fetch_queue[0]
+                tidx = fq_head
                 sidx = static_idx[tidx]
                 pc = pcs[tidx]
-                if len(rob) >= config.rob_size:
+                if len(rob) >= rob_size:
                     stats.rename_stalls_rob += 1
                     break
-                is_load = s_load[sidx]
-                is_store = s_store[sidx]
-                dest = s_dest[sidx]
+                if use_block:
+                    is_load = f_load[tidx]
+                    is_store = f_store[tidx]
+                    dest = f_dest[tidx]
+                    src1 = f_src1[tidx]
+                    src2 = f_src2[tidx]
+                    eligible = f_eligible[tidx]
+                    fu = f_fu[tidx]
+                else:
+                    is_load = s_load[sidx]
+                    is_store = s_store[sidx]
+                    dest = s_dest[sidx]
+                    src1 = s_src1[sidx]
+                    src2 = s_src2[sidx]
+                    eligible = s_eligible[sidx]
+                    fu = fu_class[sidx]
 
                 eliminated = False
                 if elim is not None:
-                    if (s_eligible[sidx] or
-                            (is_store and config.eliminate_stores)):
+                    if (eligible or
+                            (is_store and eliminate_stores)):
                         stats.elim_predictions += 1
                         eliminated = elim.should_eliminate(tidx, pc)
 
                 if not eliminated:
-                    if len(iq) >= config.iq_size:
+                    if len(iq) >= iq_size:
                         stats.rename_stalls_iq += 1
                         break
                     if (is_load or is_store) and \
-                            lsq_used >= config.lsq_size:
+                            lsq_used >= lsq_size:
                         stats.rename_stalls_lsq += 1
                         break
                     if dest and len(free_list) <= preg_reserve:
@@ -415,7 +535,7 @@ class Simulator:
                 srcs: List[int] = []
                 src_tokens: List[InFlight] = []
                 dead_producer: Optional[InFlight] = None
-                for src in (s_src1[sidx], s_src2[sidx]):
+                for src in (src1, src2):
                     if src <= 0:
                         continue
                     mapping = rat[src]
@@ -449,14 +569,15 @@ class Simulator:
                         # The consumer renames once the stall expires.
                         break
                     self._flush(chain[0], rob, iq, rat, free_list)
-                    fetch_queue.clear()
-                    fetch_idx = chain[0].tidx
+                    fq_head = fq_tail = chain[0].tidx
+                    if use_block:
+                        stop_ptr = bisect_left(stops, fq_tail)
                     fetch_resume = cycle + config.recovery_penalty
                     lsq_used = self._recount_lsq(rob)
                     flush_fired = True
                     break
 
-                entry = InFlight(seq, tidx, sidx, pc, fu_class[sidx])
+                entry = InFlight(seq, tidx, sidx, pc, fu)
                 seq += 1
                 entry.srcs = srcs
                 entry.is_load = is_load
@@ -502,38 +623,63 @@ class Simulator:
                     if is_load or is_store:
                         lsq_used += 1
                 rob.append(entry)
-                fetch_queue.popleft()
+                fq_head += 1
                 renamed += 1
             if flush_fired:
                 cycle += 1
                 continue
 
             # ---- fetch ----
-            if cycle >= fetch_resume and fetch_idx < n:
-                fetched = 0
-                while (fetched < config.fetch_width
-                       and len(fetch_queue) < fetch_buffer_cap
-                       and fetch_idx < n):
-                    tidx = fetch_idx
-                    fetch_queue.append(tidx)
-                    fetch_idx += 1
-                    fetched += 1
-                    sidx = static_idx[tidx]
-                    if statics.is_cond_branch[sidx]:
-                        stats.branches += 1
-                    if mispredict_flags[tidx]:
-                        stats.branch_mispredicts += 1
-                        fetch_resume = _INF  # until it resolves
-                        break
-                    if ends_group[tidx]:
-                        break
+            if cycle >= fetch_resume and fq_tail < n:
+                if use_block:
+                    # One arithmetic step per cycle: the block runs to
+                    # the width/buffer/trace limit or through the next
+                    # stopper, whichever is nearest; branch counters
+                    # come from the conditional prefix sums.  stop_ptr
+                    # is monotone (re-bisected only on a flush).
+                    budget = fetch_width
+                    room = fetch_buffer_cap - (fq_tail - fq_head)
+                    if room < budget:
+                        budget = room
+                    if budget > 0:
+                        end = fq_tail + budget
+                        if end > n:
+                            end = n
+                        stop = stops[stop_ptr] if stop_ptr < n_stops \
+                            else n
+                        if stop < end:
+                            end = stop + 1
+                            stop_ptr += 1
+                            if mispredict_flags[stop]:
+                                stats.branch_mispredicts += 1
+                                fetch_resume = _INF  # until it resolves
+                        stats.branches += (cond_prefix[end]
+                                           - cond_prefix[fq_tail])
+                        fq_tail = end
+                else:
+                    fetched = 0
+                    while (fetched < fetch_width
+                           and fq_tail - fq_head < fetch_buffer_cap
+                           and fq_tail < n):
+                        tidx = fq_tail
+                        fq_tail += 1
+                        fetched += 1
+                        sidx = static_idx[tidx]
+                        if s_cond[sidx]:
+                            stats.branches += 1
+                        if mispredict_flags[tidx]:
+                            stats.branch_mispredicts += 1
+                            fetch_resume = _INF  # until it resolves
+                            break
+                        if ends_group[tidx]:
+                            break
 
             if timeline is not None and cycle >= timeline.next_due:
                 timeline.record(cycle, len(rob), len(iq), lsq_used,
-                                len(fetch_queue), renamed, issued,
+                                fq_tail - fq_head, renamed, issued,
                                 commits, committed, stats.eliminated,
                                 stats.reader_recoveries
-                                + stats.timeout_recoveries, fetch_idx)
+                                + stats.timeout_recoveries, fq_tail)
             cycle += 1
 
         stats.committed = committed
@@ -548,9 +694,9 @@ class Simulator:
             # A closing sample so the timeline always reaches the end
             # of the run, whatever the sampling grid.
             timeline.record(stats.cycles - 1, len(rob), len(iq),
-                            lsq_used, len(fetch_queue), 0, 0, 0,
+                            lsq_used, fq_tail - fq_head, 0, 0, 0,
                             committed, stats.eliminated,
-                            stats.recoveries, fetch_idx)
+                            stats.recoveries, fq_tail)
             result.timeline = timeline.to_dict()
         return result
 
@@ -666,6 +812,12 @@ class Simulator:
 
 
 def simulate(trace: Trace, config: MachineConfig = None,
-             analysis: DeadnessAnalysis = None) -> PipelineResult:
-    """Run *trace* through the timing model under *config*."""
-    return Simulator(trace, config, analysis).run()
+             analysis: DeadnessAnalysis = None,
+             frontend: Optional[str] = None) -> PipelineResult:
+    """Run *trace* through the timing model under *config*.
+
+    *frontend* selects the front-end mode (``"block"`` default,
+    ``"scalar"`` reference; see the module docstring) — both produce
+    identical results, cycle for cycle.
+    """
+    return Simulator(trace, config, analysis, frontend=frontend).run()

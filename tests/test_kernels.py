@@ -3,14 +3,23 @@ prediction streams, pass timings (docs/architecture.md)."""
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro import kernels
 from repro.analysis import analyze_deadness
 from repro.analysis.distance import kill_distances
+from repro.pipeline.core import _classify_fu
 from repro.workloads import get_workload
 
-BACKENDS = ("python", "batched")
+needs_numpy = pytest.mark.skipif(
+    not kernels.HAVE_NUMPY, reason="NumPy absent: columnar backend "
+    "not registered (optional dependency)")
+BACKENDS = ("python", "batched",
+            pytest.param("columnar", marks=needs_numpy))
 
 
 @pytest.fixture(scope="module")
@@ -25,8 +34,19 @@ def traced():
 # ---------------------------------------------------------------------
 
 class TestRegistry:
-    def test_both_backends_registered(self):
-        assert set(BACKENDS) <= set(kernels.available_backends())
+    def test_stdlib_backends_registered(self):
+        assert {"python", "batched"} <= set(kernels.available_backends())
+
+    def test_columnar_registered_iff_numpy(self):
+        registered = "columnar" in kernels.available_backends()
+        assert registered == kernels.HAVE_NUMPY
+
+    @needs_numpy
+    def test_columnar_selectable(self, monkeypatch):
+        assert kernels.get_backend("columnar").name == "columnar"
+        monkeypatch.setenv("REPRO_BACKEND", "columnar")
+        assert kernels.default_backend_name() == "columnar"
+        assert "columnar" in kernels.backend_fingerprint()
 
     def test_unknown_backend_raises(self):
         with pytest.raises(KeyError):
@@ -137,6 +157,40 @@ class TestKernels:
         first = kernels.prediction_stream_for(analysis)
         assert kernels.prediction_stream_for(analysis) is first
 
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_frontend_columns_match_statics(self, name, traced):
+        trace, analysis = traced
+        statics = analysis.statics
+        fu = _classify_fu(statics)
+        decoded = kernels.decode(trace)
+        front = kernels.get_backend(name).frontend(decoded, fu)
+        n = len(trace)
+        sidx = decoded.sidx
+        assert front.dest == [statics.dest[s] for s in sidx]
+        assert front.src1 == [statics.src1[s] for s in sidx]
+        assert front.src2 == [statics.src2[s] for s in sidx]
+        assert front.is_load == [statics.is_load[s] for s in sidx]
+        assert front.is_store == [statics.is_store[s] for s in sidx]
+        assert front.eligible == [statics.eligible[s] for s in sidx]
+        assert front.fu == [fu[s] for s in sidx]
+        assert front.control_index == [
+            i for i in range(n) if statics.is_branch[sidx[i]]]
+        conds = [int(statics.is_cond_branch[s]) for s in sidx]
+        assert len(front.cond_prefix) == n + 1
+        assert front.cond_prefix == [sum(conds[:i])
+                                     for i in range(n + 1)]
+
+    @needs_numpy
+    def test_frontend_element_types_are_plain(self, traced):
+        trace, _analysis = traced
+        statics = analyze_deadness(trace).statics
+        decoded = kernels.decode(trace)
+        front = kernels.get_backend("columnar").frontend(
+            decoded, _classify_fu(statics))
+        assert type(front.dest[0]) is int
+        assert type(front.is_load[0]) is bool
+        assert type(front.cond_prefix[-1]) is int
+
 
 # ---------------------------------------------------------------------
 # Pass timings
@@ -157,3 +211,38 @@ class TestPassTimings:
         assert "prediction-stream" in totals
         kernels.reset_pass_totals()
         assert kernels.pass_totals() == {}
+
+
+# ---------------------------------------------------------------------
+# Optional-dependency fallback
+# ---------------------------------------------------------------------
+
+class TestNumpyFallback:
+    def test_fallback_without_numpy(self, tmp_path):
+        """With NumPy unimportable the registry must come up with only
+        the stdlib backends, ``HAVE_NUMPY`` false, and the kernels
+        still working — proved in a subprocess whose ``sys.path``
+        front is a stub ``numpy`` that refuses to import."""
+        (tmp_path / "numpy.py").write_text(
+            "raise ImportError('stubbed out for the fallback test')\n")
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join((str(tmp_path), src))
+        env.pop("REPRO_BACKEND", None)
+        script = (
+            "from repro import kernels\n"
+            "assert not kernels.HAVE_NUMPY\n"
+            "assert 'columnar' not in kernels.available_backends()\n"
+            "assert kernels.default_backend_name() == 'python'\n"
+            "from repro.workloads import get_workload\n"
+            "_, trace = get_workload('sort').run(scale=0.1)\n"
+            "decoded = kernels.decode(trace)\n"
+            "fused = kernels.get_backend().fused(decoded)\n"
+            "assert fused.deadness.n_dead > 0\n"
+            "print('fallback-ok')\n")
+        result = subprocess.run([sys.executable, "-c", script],
+                                capture_output=True, text=True,
+                                env=env)
+        assert result.returncode == 0, result.stderr
+        assert "fallback-ok" in result.stdout

@@ -10,10 +10,11 @@ rendered to Mini-C source and interpreted directly in Python with
 2. replaying the -O2 trace with every analysis-dead instruction
    skipped reproduces the output (deadness-analysis soundness on
    arbitrary programs, not just the curated suite);
-3. the ``batched`` kernel backend's outputs — decode column, fused
-   deadness/kill-distance/locality columns, prediction stream — are
-   byte-identical (pickle-equal, so element types included) to the
-   ``python`` reference on arbitrary programs.
+3. every registered kernel backend's outputs — decode column, fused
+   deadness/kill-distance/locality columns, prediction stream,
+   front-end columns — are byte-identical (pickle-equal, so element
+   types included) to the ``python`` reference on arbitrary programs
+   (``batched`` always; ``columnar`` whenever NumPy is importable).
 """
 
 import pickle
@@ -24,6 +25,7 @@ from repro import kernels
 from repro.analysis import analyze_deadness, replay_trace
 from repro.emulator import run_program
 from repro.lang import CompilerOptions, compile_to_program
+from repro.pipeline.core import _classify_fu
 
 _M32 = 0xFFFFFFFF
 _VARS = ("g0", "g1", "g2")
@@ -221,6 +223,8 @@ def _kernel_doc(backend, trace, statics, dead):
     stream = backend.prediction_stream(decoded, dead)
     kills = backend.kill_distances(decoded, dead)
     counts = backend.static_counts(decoded, dead)
+    fu = _classify_fu(statics)
+    front = backend.frontend(decoded, fu)
     return (
         list(decoded.sidx),
         fused.deadness.dead, fused.deadness.direct,
@@ -234,6 +238,9 @@ def _kernel_doc(backend, trace, statics, dead):
         counts.totals, counts.deads,
         stream.eligible_index, stream.eligible_pc,
         stream.eligible_dead, stream.branch_index, stream.branch_taken,
+        front.dest, front.src1, front.src2, front.is_load,
+        front.is_store, front.eligible, front.fu,
+        front.control_index, front.cond_prefix,
     )
 
 
@@ -246,8 +253,14 @@ def test_random_programs_backends_byte_identical(stmts):
     analysis = analyze_deadness(trace)
     reference = _kernel_doc(kernels.get_backend("python"), trace,
                             analysis.statics, analysis.dead)
-    candidate = _kernel_doc(kernels.get_backend("batched"), trace,
-                            analysis.statics, analysis.dead)
     # pickle equality covers element types too (bool vs int labels),
-    # which is the backend contract's definition of byte-identical.
-    assert pickle.dumps(reference) == pickle.dumps(candidate), source
+    # which is the backend contract's definition of byte-identical;
+    # every registered backend (``columnar`` included when NumPy is
+    # importable) is held to it.
+    for name in kernels.available_backends():
+        if name == "python":
+            continue
+        candidate = _kernel_doc(kernels.get_backend(name), trace,
+                                analysis.statics, analysis.dead)
+        assert pickle.dumps(reference) == pickle.dumps(candidate), \
+            (name, source)
