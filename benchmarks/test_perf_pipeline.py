@@ -18,6 +18,7 @@ rewritten at the repo root, next to ``BENCH_kernels.json``.  See
 
 import json
 import os
+import statistics
 import time
 
 import pytest
@@ -28,8 +29,13 @@ from repro.pipeline import default_config, simulate
 from repro.pipeline.core import _classify_fu
 from repro.workloads import get_workload
 
-#: timing reruns; minimum filters scheduler noise
+#: timed reruns per measurement; the median filters scheduler noise in
+#: both directions (a lucky minimum is as misleading as an unlucky
+#: maximum when two medians are compared in a ratio gate)
 ROUNDS = 5
+#: untimed runs before measuring, so allocator pools, branch
+#: predictors, and per-trace backend caches are warm for round one
+WARMUP = 2
 
 
 @pytest.fixture(scope="module")
@@ -39,14 +45,15 @@ def traced():
     return workload, trace, analyze_deadness(trace)
 
 
-def _best_of(fn, rounds=ROUNDS):
-    best = None
+def _median_of(fn, rounds=ROUNDS, warmup=WARMUP):
+    for _ in range(warmup):
+        fn()
+    samples = []
     for _ in range(rounds):
         started = time.perf_counter()
         fn()
-        elapsed = time.perf_counter() - started
-        best = elapsed if best is None else min(best, elapsed)
-    return best
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
 
 
 def _pass_table(backend, trace, analysis, fu, hot):
@@ -91,7 +98,7 @@ def _hot_path_seconds(backend, trace, analysis, fu):
         backend.fused(decoded)
         backend.frontend(decoded, fu)
 
-    return _best_of(run)
+    return _median_of(run)
 
 
 def test_perf_pipeline_passes(benchmark, traced):
@@ -119,9 +126,10 @@ def test_perf_pipeline_passes(benchmark, traced):
         }
 
     for mode in ("scalar", "block"):
-        doc["simulate"][mode] = round(_best_of(
+        doc["simulate"][mode] = round(_median_of(
             lambda mode=mode: simulate(trace, config, analysis,
-                                       frontend=mode), 3), 6)
+                                       frontend=mode),
+            rounds=3, warmup=1), 6)
     if "columnar" in hot_path:
         doc["hot_path_speedup_columnar_vs_python"] = round(
             hot_path["python"] / hot_path["columnar"], 3)

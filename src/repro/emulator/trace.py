@@ -28,7 +28,8 @@ from repro.isa.program import Program, TEXT_BASE
 class Trace:
     """The committed dynamic instruction stream of one program run."""
 
-    __slots__ = ("program", "pcs", "taken", "addrs", "_sidx")
+    __slots__ = ("program", "pcs", "taken", "addrs", "_sidx",
+                 "artifact_bundle")
 
     def __init__(self, program: Program):
         self.program = program
@@ -37,6 +38,11 @@ class Trace:
         self.addrs: List[int] = []
         #: lazily decoded static-index column (see static_indices)
         self._sidx: List[int] = []
+        #: attached artifact-plane column bundle, if the harness
+        #: materialized this trace from one (duck-typed — the kernel
+        #: layer hydrates its columns from here instead of re-deriving;
+        #: see ``repro.harness.artifacts``)
+        self.artifact_bundle = None
 
     def __len__(self) -> int:
         return len(self.pcs)
@@ -56,6 +62,14 @@ class Trace:
         trace grew since the last decode.
         """
         if len(self._sidx) != len(self.pcs):
+            bundle = self.artifact_bundle
+            if bundle is not None:
+                try:
+                    if bundle.n == len(self.pcs) and bundle.has("sidx"):
+                        self._sidx = bundle.ints("sidx")
+                        return self._sidx
+                except Exception:
+                    pass  # fall through to a fresh decode
             from repro import kernels
             self._sidx = kernels.get_backend().static_indices(self)
         return self._sidx

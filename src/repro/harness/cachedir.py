@@ -5,6 +5,8 @@ Layout under the cache root (default ``.repro-cache/``)::
     .repro-cache/
         stages/<stage>/<kk>/<key>.pkl   # one artifact per entry
         stages/_quarantine/<stage>/...  # corrupt entries, moved aside
+        artifacts/<kk>/<key>.cols       # mmap column bundles (tier 2,
+        artifacts/_quarantine/...       #   see harness/artifacts.py)
         runs/run-<id>.json              # structured run metadata
 
 Keys are SHA-256 hex digests computed by :func:`stable_hash` over the
@@ -55,7 +57,10 @@ MISS = object()
 
 #: Bump to invalidate every entry across a cache-format change.
 #: "2": entries gained the integrity header (magic + payload SHA-256).
-CACHE_SCHEMA = "2"
+#: "3": the mmap artifact plane landed (``harness/artifacts.py``);
+#: stage entries and column bundles invalidate together so the two
+#: tiers can never disagree about what a key means.
+CACHE_SCHEMA = "3"
 
 #: First bytes of every entry file; a file without it is corrupt (or
 #: predates the checksummed format) and gets quarantined.
@@ -186,6 +191,17 @@ class CacheDir:
     def quarantine_root(self) -> str:
         return os.path.join(self.stages_root, QUARANTINE_DIR)
 
+    @property
+    def artifacts_root(self) -> str:
+        """The artifact plane's tree (written/read by
+        :class:`repro.harness.artifacts.ArtifactPlane`; this class
+        only does the shared maintenance: stats, temp sweep, gc)."""
+        return os.path.join(self.root, "artifacts")
+
+    @property
+    def artifacts_quarantine_root(self) -> str:
+        return os.path.join(self.artifacts_root, QUARANTINE_DIR)
+
     def entry_path(self, stage: str, key: str) -> str:
         return os.path.join(self.stages_root, stage, key[:2],
                             key + ".pkl")
@@ -283,12 +299,13 @@ class CacheDir:
         return {"entries": entries, "bytes": size}
 
     def _quarantined_files(self) -> Iterable[Tuple[str, str]]:
-        root = self.quarantine_root
-        if not os.path.isdir(root):
-            return
-        for dirpath, _dirnames, filenames in os.walk(root):
-            for filename in sorted(filenames):
-                yield dirpath, os.path.join(dirpath, filename)
+        for root in (self.quarantine_root,
+                     self.artifacts_quarantine_root):
+            if not os.path.isdir(root):
+                continue
+            for dirpath, _dirnames, filenames in os.walk(root):
+                for filename in sorted(filenames):
+                    yield dirpath, os.path.join(dirpath, filename)
 
     @staticmethod
     def _count(name: str, help_text: str, **labels: str) -> None:
@@ -299,38 +316,57 @@ class CacheDir:
     # -- maintenance --------------------------------------------------
 
     def iter_entries(self) -> Iterable[Tuple[str, str, int]]:
-        """Yield ``(stage, path, size_bytes)`` for every live entry
-        (quarantined files and ``*.tmp`` leftovers excluded)."""
+        """Yield ``(stage, path, size_bytes)`` for every live entry —
+        stage pickles plus the artifact plane's ``.cols`` bundles
+        (reported under the pseudo-stage ``artifacts``); quarantined
+        files and ``*.tmp`` leftovers excluded.  This is the inventory
+        ``stats``/``gc`` work from, so plane files age out of a
+        size-bounded cache oldest-first exactly like stage entries."""
         stages_root = self.stages_root
-        if not os.path.isdir(stages_root):
-            return
-        for stage in sorted(os.listdir(stages_root)):
-            if stage.startswith("_"):
-                continue  # _quarantine and friends
-            stage_dir = os.path.join(stages_root, stage)
-            if not os.path.isdir(stage_dir):
-                continue
-            for dirpath, _dirnames, filenames in os.walk(stage_dir):
+        if os.path.isdir(stages_root):
+            for stage in sorted(os.listdir(stages_root)):
+                if stage.startswith("_"):
+                    continue  # _quarantine and friends
+                stage_dir = os.path.join(stages_root, stage)
+                if not os.path.isdir(stage_dir):
+                    continue
+                for dirpath, _dirnames, filenames in os.walk(stage_dir):
+                    for filename in sorted(filenames):
+                        if not filename.endswith(".pkl"):
+                            continue
+                        path = os.path.join(dirpath, filename)
+                        try:
+                            size = os.path.getsize(path)
+                        except OSError:
+                            continue
+                        yield stage, path, size
+        artifacts_root = self.artifacts_root
+        if os.path.isdir(artifacts_root):
+            for dirpath, dirnames, filenames in os.walk(artifacts_root):
+                dirnames[:] = [name for name in sorted(dirnames)
+                               if not name.startswith("_")]
                 for filename in sorted(filenames):
-                    if not filename.endswith(".pkl"):
+                    if not filename.endswith(".cols"):
                         continue
                     path = os.path.join(dirpath, filename)
                     try:
                         size = os.path.getsize(path)
                     except OSError:
                         continue
-                    yield stage, path, size
+                    yield "artifacts", path, size
 
     def temp_files(self) -> List[str]:
-        """Every orphaned ``*.tmp`` file under the stage tree (a
-        writer died between ``mkstemp`` and ``os.replace``)."""
+        """Every orphaned ``*.tmp`` file under the stage tree *and*
+        the artifact plane (a writer died between ``mkstemp`` and
+        ``os.replace`` — partial bundles land here too)."""
         found: List[str] = []
-        if not os.path.isdir(self.stages_root):
-            return found
-        for dirpath, _dirnames, filenames in os.walk(self.stages_root):
-            for filename in sorted(filenames):
-                if filename.endswith(".tmp"):
-                    found.append(os.path.join(dirpath, filename))
+        for root in (self.stages_root, self.artifacts_root):
+            if not os.path.isdir(root):
+                continue
+            for dirpath, _dirnames, filenames in os.walk(root):
+                for filename in sorted(filenames):
+                    if filename.endswith(".tmp"):
+                        found.append(os.path.join(dirpath, filename))
         return found
 
     def sweep_temp(self, max_age_seconds: float = 3600.0) -> int:
@@ -366,6 +402,8 @@ class CacheDir:
             quarantine_dropped = sum(
                 1 for _ in self._quarantined_files())
             shutil.rmtree(self.quarantine_root, ignore_errors=True)
+            shutil.rmtree(self.artifacts_quarantine_root,
+                          ignore_errors=True)
         evicted = 0
         remaining = 0
         aged: List[Tuple[float, str, int]] = []
@@ -413,6 +451,7 @@ class CacheDir:
 
         removed = sum(1 for _ in self.iter_entries())
         shutil.rmtree(self.stages_root, ignore_errors=True)
+        shutil.rmtree(self.artifacts_root, ignore_errors=True)
         if runs and os.path.isdir(self.runs_root):
             removed += len([name for name in os.listdir(self.runs_root)
                             if name.endswith(".json")])

@@ -68,6 +68,11 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="report cells that fail every retry in "
                              "run metadata and keep going, instead of "
                              "aborting the sweep (REPRO_PARTIAL=1)")
+    parser.add_argument("--no-artifacts", action="store_true",
+                        default=not defaults.artifacts,
+                        help="disable the mmap-backed columnar "
+                             "artifact plane; cells unpickle from the "
+                             "stage cache instead (REPRO_ARTIFACTS=0)")
     from repro.kernels import available_backends
 
     parser.add_argument("--backend", default=defaults.backend,
@@ -86,7 +91,9 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
                         retries=defaults.retries,
                         retry_backoff=defaults.retry_backoff,
                         partial=args.partial or defaults.partial,
-                        backend=args.backend)
+                        backend=args.backend,
+                        artifacts=not args.no_artifacts,
+                        batch_cells=defaults.batch_cells)
 
 
 def _experiments_main(argv: List[str]) -> int:

@@ -52,7 +52,7 @@ from repro import kernels, obs
 from repro.analysis import DeadnessAnalysis, analyze_deadness
 from repro.analysis.statics import StaticTable
 from repro.emulator import Trace, run_program
-from repro.harness import faults
+from repro.harness import artifacts, faults
 from repro.harness.cachedir import MISS, CacheDir, stable_hash, stage_salt
 from repro.kernels.base import (
     DeadnessColumns,
@@ -113,6 +113,13 @@ class EngineConfig:
     #: kernel backend name ("" = env/default resolution, see
     #: :mod:`repro.kernels`); salted into analysis/paths/timing keys
     backend: str = ""
+    #: enable the mmap-backed columnar artifact plane (second cache
+    #: tier, :mod:`repro.harness.artifacts`); requires ``cache`` and a
+    #: little-endian host, silently off otherwise
+    artifacts: bool = True
+    #: group prefetch cells that share a workload into one worker task
+    #: so the cell's trace/analysis materialize once per batch
+    batch_cells: bool = True
 
 
 def _env_int(name: str, default: str) -> int:
@@ -137,7 +144,8 @@ def config_from_env() -> EngineConfig:
     """Engine defaults, overridable through environment variables
     (``REPRO_JOBS``, ``REPRO_CACHE=0``, ``REPRO_CACHE_DIR``,
     ``REPRO_CELL_TIMEOUT``, ``REPRO_RETRIES``, ``REPRO_RETRY_BACKOFF``,
-    ``REPRO_PARTIAL=1``, ``REPRO_BACKEND``) so embeddings like pytest
+    ``REPRO_PARTIAL=1``, ``REPRO_BACKEND``, ``REPRO_ARTIFACTS=0``,
+    ``REPRO_BATCH_CELLS=0``) so embeddings like pytest
     pick them up without plumbing flags.  Malformed numeric values
     raise ``ValueError`` naming the offending variable."""
     return EngineConfig(
@@ -149,7 +157,18 @@ def config_from_env() -> EngineConfig:
         retry_backoff=_env_float("REPRO_RETRY_BACKOFF", "0.05"),
         partial=os.environ.get("REPRO_PARTIAL", "0") == "1",
         backend=os.environ.get("REPRO_BACKEND", ""),
+        artifacts=os.environ.get("REPRO_ARTIFACTS", "1") != "0",
+        batch_cells=os.environ.get("REPRO_BATCH_CELLS", "1") != "0",
     )
+
+
+def _plane_for(config: EngineConfig
+               ) -> Optional[artifacts.ArtifactPlane]:
+    """The artifact plane for *config*, or ``None`` when it is off
+    (no cache, disabled, or an unsupported big-endian host)."""
+    if config.cache and config.artifacts and artifacts.PLANE_SUPPORTED:
+        return artifacts.ArtifactPlane(config.cache_dir)
+    return None
 
 
 # ---------------------------------------------------------------------
@@ -257,10 +276,44 @@ def _bytes_to_bools(blob: bytes) -> List[bool]:
     return [byte == 1 for byte in blob]
 
 
+#: compile_key -> (Program, StaticTable); one assemble + static-table
+#: build per distinct program per process.  Cells in a sweep share a
+#: handful of programs, and both the payload computation and the
+#: parent-side materialization need them — this keeps the shared cost
+#: out of every per-cell path (the objects are immutable in use).
+_PROGRAM_MEMO: Dict[str, Tuple["object", "object"]] = {}
+
+
+def _program_for(compile_key: str, asm: str, name: str):
+    """``(program, statics)`` for one compiled cell, memoized."""
+    entry = _PROGRAM_MEMO.get(compile_key)
+    if entry is None:
+        program = assemble(asm, name=name)
+        entry = (program, StaticTable(program))
+        _PROGRAM_MEMO[compile_key] = entry
+    return entry
+
+
+#: Sentinel: resolve the artifact plane from the config (pool workers,
+#: which cannot share the parent engine's handle).
+_PLANE_AUTO = object()
+
+
+def _bundle_output(bundle) -> "object":
+    """A trace bundle's stored emulator output, or :data:`MISS` when
+    the pickled column is itself unreadable (treated as a plane miss —
+    the checksum already passed, so this is vanishingly rare)."""
+    try:
+        return artifacts.unpack_output(bundle)
+    except Exception:
+        return MISS
+
+
 def _compute_cell_payload(spec: CellSpec,
                           config: EngineConfig,
                           cache: Optional[CacheDir] = None,
-                          injected: Tuple[str, ...] = ()
+                          injected: Tuple[str, ...] = (),
+                          plane: "object" = _PLANE_AUTO
                           ) -> Dict[str, object]:
     """Run one cell's compile → trace → analysis chain, using and
     populating the on-disk cache.  Top-level so pool workers can
@@ -271,6 +324,16 @@ def _compute_cell_payload(spec: CellSpec,
     place; pool workers pass ``None`` and build their own.  *injected*
     carries the worker-level fault points the parent drew for this
     dispatch (:func:`repro.harness.faults.draw_cell_faults`).
+
+    *plane* is the artifact plane (second cache tier): with it, a hot
+    cell attaches mmap-backed column bundles instead of unpickling
+    lists, and the returned payload carries
+    :class:`~repro.harness.artifacts.ArtifactHandle` references
+    (``"trace_artifact"``/``"analysis_artifact"``) instead of the
+    column data — the parent re-attaches the same bundles by checksum.
+    The engine passes its own handle on the serial path;
+    :data:`_PLANE_AUTO` resolves from *config* (pool workers);
+    ``None`` forces the pickle tier.
     """
     if "worker.hang" in injected:
         time.sleep(faults.hang_seconds())
@@ -284,6 +347,8 @@ def _compute_cell_payload(spec: CellSpec,
         kernels.set_default_backend(config.backend)
     if cache is None and config.cache:
         cache = CacheDir(config.cache_dir)
+    if plane is _PLANE_AUTO:
+        plane = _plane_for(config)
     workload = get_workload(spec.workload)
     source = workload.source(spec.scale)
     stages: Dict[str, Dict[str, object]] = {}
@@ -301,33 +366,59 @@ def _compute_cell_payload(spec: CellSpec,
             cache.store("compile", compile_key, asm)
     stages["compile"] = {"hit": hit,
                          "seconds": time.perf_counter() - started}
-    program = assemble(asm, name=spec.workload)
+    program, _statics = _program_for(compile_key, asm, spec.workload)
 
     # -- trace --------------------------------------------------------
     trace_key = stable_hash("trace", compile_key, str(MAX_STEPS),
                             stage_salt("trace"))
     started = time.perf_counter()
-    entry = cache.load("trace", trace_key) if cache else MISS
     expected = workload.reference(spec.scale)
-    hit = (isinstance(entry, dict)
-           and entry.get("output") == expected)
-    if hit:
-        pcs, taken, addrs = entry["pcs"], entry["taken"], entry["addrs"]
-        output = entry["output"]
-    else:
-        machine, trace = run_program(program, max_steps=MAX_STEPS)
-        if machine.output != expected:
-            raise AssertionError(
-                "workload %r produced %r, expected %r" % (
-                    spec.workload, machine.output, expected))
-        pcs, taken, addrs = trace.pcs, trace.taken, trace.addrs
-        output = machine.output
-        if cache:
-            cache.store("trace", trace_key,
-                        {"pcs": pcs, "taken": taken, "addrs": addrs,
-                         "output": output})
+    t_key = (artifacts.artifact_key("trace", trace_key)
+             if plane is not None else None)
+    pcs = taken = addrs = None
+    trace_handle = None
+    trace_bundle = None
+    hit = False
+    if plane is not None:
+        bundle = plane.attach(t_key)
+        if bundle is not None:
+            candidate = (_bundle_output(bundle)
+                         if artifacts.is_trace_bundle(bundle) else MISS)
+            if candidate == expected:
+                hit = True
+                output = candidate
+                trace_handle = bundle.handle(t_key)
+                trace_bundle = bundle
+            else:
+                bundle.close()
+    if not hit:
+        entry = cache.load("trace", trace_key) if cache else MISS
+        hit = (isinstance(entry, dict)
+               and entry.get("output") == expected)
+        if hit:
+            pcs, taken, addrs = (entry["pcs"], entry["taken"],
+                                 entry["addrs"])
+            output = entry["output"]
+        else:
+            machine, trace = run_program(program, max_steps=MAX_STEPS)
+            if machine.output != expected:
+                raise AssertionError(
+                    "workload %r produced %r, expected %r" % (
+                        spec.workload, machine.output, expected))
+            pcs, taken, addrs = trace.pcs, trace.taken, trace.addrs
+            output = machine.output
+            if cache:
+                cache.store("trace", trace_key,
+                            {"pcs": pcs, "taken": taken, "addrs": addrs,
+                             "output": output})
+        if plane is not None:
+            # Backfill the plane so the next attach (this process or
+            # any sibling worker) is zero-copy.
+            trace_handle = artifacts.store_trace_bundle(
+                plane, t_key, program, pcs, taken, addrs, output)
     stages["trace"] = {"hit": hit,
                        "seconds": time.perf_counter() - started}
+    n = trace_bundle.n if trace_bundle is not None else len(pcs)
 
     # -- analysis -----------------------------------------------------
     # The backend fingerprint keeps entries produced under different
@@ -337,33 +428,59 @@ def _compute_cell_payload(spec: CellSpec,
                                kernels.backend_fingerprint(),
                                stage_salt("analysis"))
     started = time.perf_counter()
-    entry = cache.load("analysis", analysis_key) if cache else MISS
-    hit = (isinstance(entry, dict)
-           and len(entry.get("dead", b"")) == len(pcs)
-           and "fused" in entry)
-    if hit:
-        dead_blob, direct_blob = entry["dead"], entry["direct"]
-        counts = entry["counts"]
-        fused_doc = entry["fused"]
-    else:
-        trace = Trace(program)
-        trace.pcs, trace.taken, trace.addrs = pcs, taken, addrs
-        analysis = analyze_deadness(trace)
-        dead_blob = _bools_to_bytes(analysis.dead)
-        direct_blob = _bools_to_bytes(analysis.direct)
-        counts = {
-            "n_dynamic": analysis.n_dynamic,
-            "n_eligible": analysis.n_eligible,
-            "n_dead": analysis.n_dead,
-            "n_direct": analysis.n_direct,
-            "n_transitive": analysis.n_transitive,
-            "n_dead_stores": analysis.n_dead_stores,
-        }
-        fused_doc = _fused_to_doc(analysis.fused)
-        if cache:
-            cache.store("analysis", analysis_key,
-                        {"dead": dead_blob, "direct": direct_blob,
-                         "counts": counts, "fused": fused_doc})
+    a_key = (artifacts.artifact_key("analysis", analysis_key)
+             if plane is not None else None)
+    dead_blob = direct_blob = counts = fused_doc = None
+    analysis_handle = None
+    hit = False
+    if plane is not None:
+        a_bundle = plane.attach(a_key)
+        if a_bundle is not None:
+            if artifacts.is_analysis_bundle(a_bundle, n):
+                hit = True
+                analysis_handle = a_bundle.handle(a_key)
+            else:
+                a_bundle.close()
+    if not hit:
+        entry = cache.load("analysis", analysis_key) if cache else MISS
+        hit = (isinstance(entry, dict)
+               and len(entry.get("dead", b"")) == n
+               and "fused" in entry)
+        if hit:
+            dead_blob, direct_blob = entry["dead"], entry["direct"]
+            counts = entry["counts"]
+            fused_doc = entry["fused"]
+        else:
+            if pcs is None:
+                # Trace came from the plane: hydrate its columns once
+                # for the analysis pass (and let the kernels pull the
+                # precomputed derived columns straight off the map).
+                pcs = trace_bundle.ints("pcs")
+                taken = trace_bundle.bools("taken")
+                addrs = trace_bundle.ints("addrs")
+            trace = Trace(program)
+            trace.pcs, trace.taken, trace.addrs = pcs, taken, addrs
+            trace.artifact_bundle = trace_bundle
+            analysis = analyze_deadness(trace)
+            dead_blob = _bools_to_bytes(analysis.dead)
+            direct_blob = _bools_to_bytes(analysis.direct)
+            counts = {
+                "n_dynamic": analysis.n_dynamic,
+                "n_eligible": analysis.n_eligible,
+                "n_dead": analysis.n_dead,
+                "n_direct": analysis.n_direct,
+                "n_transitive": analysis.n_transitive,
+                "n_dead_stores": analysis.n_dead_stores,
+            }
+            fused_doc = _fused_to_doc(analysis.fused)
+            if cache:
+                cache.store("analysis", analysis_key,
+                            {"dead": dead_blob, "direct": direct_blob,
+                             "counts": counts, "fused": fused_doc})
+        if plane is not None:
+            analysis_handle = artifacts.store_analysis_bundle(
+                plane, a_key, n, dead_blob, direct_blob, counts,
+                fused_doc)
     stages["analysis"] = {"hit": hit,
                           "seconds": time.perf_counter() - started}
 
@@ -372,11 +489,23 @@ def _compute_cell_payload(spec: CellSpec,
         "trace_key": trace_key,
         "analysis_key": analysis_key,
         "asm": asm,
-        "pcs": pcs, "taken": taken, "addrs": addrs, "output": output,
-        "dead": dead_blob, "direct": direct_blob, "counts": counts,
-        "fused": fused_doc,
+        "output": output,
+        "n": n,
         "stages": stages,
     }
+    if trace_handle is not None:
+        payload["trace_artifact"] = trace_handle
+    else:
+        payload["pcs"] = pcs
+        payload["taken"] = taken
+        payload["addrs"] = addrs
+    if analysis_handle is not None:
+        payload["analysis_artifact"] = analysis_handle
+    else:
+        payload["dead"] = dead_blob
+        payload["direct"] = direct_blob
+        payload["counts"] = counts
+        payload["fused"] = fused_doc
     if "artifact.unpicklable" in injected:
         # Poison the result pipe: the pool's encoder fails to pickle
         # this, the parent sees the error and recomputes serially.
@@ -412,22 +541,58 @@ def _doc_to_fused(doc: Dict[str, object], dead: List[bool],
 
 
 def _payload_to_artifact(spec: CellSpec,
-                         payload: Dict[str, object]) -> CellArtifact:
+                         payload: Dict[str, object],
+                         plane: Optional[artifacts.ArtifactPlane] = None
+                         ) -> CellArtifact:
     """Rebuild native Trace/DeadnessAnalysis objects from a payload.
     Used identically for serial, pooled, and cache-hit paths so every
-    path yields bit-identical artifacts."""
-    program = assemble(payload["asm"], name=spec.workload)
+    path yields bit-identical artifacts.
+
+    Payloads carrying artifact handles instead of column data hydrate
+    from the mmap-backed bundles; a handle that no longer attaches
+    (file vanished, quarantined, checksum changed, or *plane* is off)
+    raises :class:`~repro.harness.artifacts.ArtifactUnavailable` —
+    callers fall back to recomputing from the pickle tier
+    (:func:`_materialize_payload`)."""
+    program, statics = _program_for(payload["compile_key"],
+                                    payload["asm"], spec.workload)
     trace = Trace(program)
-    trace.pcs = payload["pcs"]
-    trace.taken = payload["taken"]
-    trace.addrs = payload["addrs"]
-    statics = StaticTable(program)
-    counts = payload["counts"]
-    dead = _bytes_to_bools(payload["dead"])
-    direct = _bytes_to_bools(payload["direct"])
+    t_handle = payload.get("trace_artifact")
+    if t_handle is None:
+        trace.pcs = payload["pcs"]
+        trace.taken = payload["taken"]
+        trace.addrs = payload["addrs"]
+    else:
+        bundle = (plane.attach_handle(t_handle)
+                  if plane is not None else None)
+        if bundle is None or not artifacts.is_trace_bundle(bundle):
+            raise artifacts.ArtifactUnavailable(
+                "trace bundle %s did not re-attach" % t_handle.key[:12])
+        trace.pcs = bundle.ints("pcs")
+        trace.taken = bundle.bools("taken")
+        trace.addrs = bundle.ints("addrs")
+        trace.artifact_bundle = bundle
+    a_handle = payload.get("analysis_artifact")
+    if a_handle is None:
+        counts = payload["counts"]
+        dead = _bytes_to_bools(payload["dead"])
+        direct = _bytes_to_bools(payload["direct"])
+        fused_doc = payload["fused"]
+    else:
+        a_bundle = (plane.attach_handle(a_handle)
+                    if plane is not None else None)
+        if a_bundle is None or not artifacts.is_analysis_bundle(
+                a_bundle, len(trace.pcs)):
+            raise artifacts.ArtifactUnavailable(
+                "analysis bundle %s did not re-attach"
+                % a_handle.key[:12])
+        counts = artifacts.counts_from_bundle(a_bundle)
+        dead = a_bundle.bools("dead")
+        direct = a_bundle.bools("direct")
+        fused_doc = artifacts.fused_doc_from_bundle(a_bundle)
     analysis = DeadnessAnalysis(
         trace=trace, statics=statics, dead=dead, direct=direct,
-        fused=_doc_to_fused(payload["fused"], dead, direct, counts),
+        fused=_doc_to_fused(fused_doc, dead, direct, counts),
         **counts)
     return CellArtifact(
         spec=spec, trace=trace, analysis=analysis,
@@ -436,6 +601,27 @@ def _payload_to_artifact(spec: CellSpec,
         trace_key=payload["trace_key"],
         analysis_key=payload["analysis_key"],
         stages=payload["stages"])
+
+
+def _materialize_payload(spec: CellSpec, payload: Dict[str, object],
+                         config: EngineConfig,
+                         cache: Optional[CacheDir],
+                         plane: Optional[artifacts.ArtifactPlane]
+                         ) -> CellArtifact:
+    """Materialize a payload, degrading gracefully when a shipped
+    artifact handle no longer attaches: the cell recomputes through
+    the pickle tier (which itself falls back to emulation), so a
+    damaged plane can cost time but never a result."""
+    try:
+        return _payload_to_artifact(spec, payload, plane)
+    except artifacts.ArtifactUnavailable:
+        obs.metrics().counter(
+            "repro_artifact_fallback_total",
+            "cells re-materialized after a handle failed to attach"
+        ).inc()
+        payload = _compute_cell_payload(spec, config, cache, (),
+                                        plane=None)
+        return _payload_to_artifact(spec, payload, None)
 
 
 def _analysis_fingerprint(analysis: DeadnessAnalysis) -> str:
@@ -460,25 +646,34 @@ def _simulate_key(trace_key: str, machine_config: MachineConfig,
     return stable_hash(*parts)
 
 
-def _prefetch_sim_worker(args: Tuple[CellSpec, MachineConfig,
+def _prefetch_sim_worker(args: Tuple[CellSpec,
+                                     Tuple[MachineConfig, ...],
                                      EngineConfig, Tuple[str, ...]]
-                         ) -> Tuple[str, PipelineResult, float]:
-    """Pool worker: materialize a (hot-cache) cell, run one timing
-    simulation, persist it, and return it for the in-memory memo."""
-    spec, machine_config, config, injected = args
-    payload = _compute_cell_payload(spec, config, injected=injected)
-    artifact = _payload_to_artifact(spec, payload)
-    key = _simulate_key(artifact.trace_key, machine_config,
-                        artifact.analysis)
+                         ) -> List[Tuple[str, PipelineResult, float]]:
+    """Pool worker: materialize a (hot-cache) cell once, then run one
+    timing simulation per machine config in the batch, persisting each
+    and returning all of them for the in-memory memo.  Batching is the
+    point: the cell's trace/analysis attach (or unpickle) once per
+    *batch*, not once per simulation."""
+    spec, machine_configs, config, injected = args
     cache = CacheDir(config.cache_dir) if config.cache else None
-    started = time.perf_counter()
-    result = cache.load("timing", key) if cache else MISS
-    if not isinstance(result, PipelineResult):
-        result = simulate(artifact.trace, machine_config,
-                          artifact.analysis)
-        if cache:
-            cache.store("timing", key, result)
-    return key, result, time.perf_counter() - started
+    plane = _plane_for(config)
+    payload = _compute_cell_payload(spec, config, cache,
+                                    injected=injected, plane=plane)
+    artifact = _materialize_payload(spec, payload, config, cache, plane)
+    results: List[Tuple[str, PipelineResult, float]] = []
+    for machine_config in machine_configs:
+        key = _simulate_key(artifact.trace_key, machine_config,
+                            artifact.analysis)
+        started = time.perf_counter()
+        result = cache.load("timing", key) if cache else MISS
+        if not isinstance(result, PipelineResult):
+            result = simulate(artifact.trace, machine_config,
+                              artifact.analysis)
+            if cache:
+                cache.store("timing", key, result)
+        results.append((key, result, time.perf_counter() - started))
+    return results
 
 
 # ---------------------------------------------------------------------
@@ -503,6 +698,9 @@ class Engine:
         self.cache: Optional[CacheDir] = (
             CacheDir(self.config.cache_dir) if self.config.cache
             else None)
+        #: the mmap-backed columnar artifact plane (``None`` when off);
+        #: its ``counters`` feed :meth:`robustness`
+        self.plane = _plane_for(self.config)
         self.stats = StageStats()
         #: set once ``pool_fault_limit`` pool faults accumulate: the
         #: engine stops using worker pools for the rest of its life
@@ -532,16 +730,21 @@ class Engine:
         else:
             payloads = self._run_cells_pool(specs, partial)
         collector = obs.get_collector()
-        artifacts = []
+        materialized = []
         for spec, payload in zip(specs, payloads):
             if payload is None:  # failed cell in partial mode
                 continue
             self.stats.merge_stage_report(payload["stages"])
-            self.stats.instructions += len(payload["pcs"])
+            self.stats.instructions += payload["n"]
             if collector is not None:
                 self._note_cell(collector, spec, payload["stages"])
-            artifacts.append(_payload_to_artifact(spec, payload))
-        return artifacts
+            materialized.append(self._materialize(spec, payload))
+        return materialized
+
+    def _materialize(self, spec: CellSpec,
+                     payload: Dict[str, object]) -> CellArtifact:
+        return _materialize_payload(spec, payload, self.config,
+                                    self.cache, self.plane)
 
     @staticmethod
     def _note_cell(collector, spec: CellSpec,
@@ -572,7 +775,8 @@ class Engine:
             try:
                 return _compute_cell_payload(
                     spec, self.config, self.cache,
-                    faults.draw_cell_faults(pool=False))
+                    faults.draw_cell_faults(pool=False),
+                    plane=self.plane)
             except Exception:
                 if attempt + 1 == attempts:
                     raise
@@ -753,8 +957,11 @@ class Engine:
         or disk; any prefetch failure silently falls back."""
         if self.config.jobs <= 1:
             return
-        todo: List[Tuple[CellSpec, MachineConfig, EngineConfig,
-                         Tuple[str, ...]]] = []
+        #: cell -> (spec, pending machine configs); with batched
+        #: dispatch each group becomes ONE worker task that
+        #: materializes the cell once and runs every simulation
+        grouped: Dict[str, Tuple[CellSpec, List[MachineConfig]]] = {}
+        order: List[str] = []
         for run, machine_config in items:
             trace_key = getattr(run, "cache_key", None) or \
                 getattr(run, "trace_key", None)
@@ -766,25 +973,42 @@ class Engine:
             if self.cache and os.path.exists(
                     self.cache.entry_path("timing", key)):
                 continue
-            todo.append((run.spec, machine_config, self.config,
-                         faults.draw_cell_faults(pool=True)))
-        if not todo or self._pool_degraded:
+            label = run.spec.describe()
+            if label not in grouped:
+                grouped[label] = (run.spec, [])
+                order.append(label)
+            grouped[label][1].append(machine_config)
+        if not grouped or self._pool_degraded:
             return
+        todo: List[Tuple[CellSpec, Tuple[MachineConfig, ...],
+                         EngineConfig, Tuple[str, ...]]] = []
+        for label in order:
+            cell_spec, machine_configs = grouped[label]
+            if self.config.batch_cells:
+                batches = [tuple(machine_configs)]
+            else:
+                batches = [(machine_config,)
+                           for machine_config in machine_configs]
+            for batch in batches:
+                todo.append((cell_spec, batch, self.config,
+                             faults.draw_cell_faults(pool=True)))
         workers = min(self.config.jobs, len(todo))
         context = _pool_context()
         with context.Pool(processes=workers) as pool:
             pending = [pool.apply_async(_prefetch_sim_worker, (args,))
                        for args in todo]
-            for handle in pending:
+            for args, handle in zip(todo, pending):
                 try:
-                    key, result, _seconds = handle.get(
-                        self.config.cell_timeout)
+                    # One timeout budget per simulation in the batch.
+                    results = handle.get(
+                        self.config.cell_timeout * max(len(args[1]), 1))
                 except Exception:
                     # Purely an accelerator: a faulted prefetch cell
                     # just falls back to the serial simulate path.
                     self._note_pool_fault()
                     continue
-                self._sim_memo[key] = result
+                for key, result, _seconds in results:
+                    self._sim_memo[key] = result
 
     # -- paths stage --------------------------------------------------
 
@@ -824,6 +1048,7 @@ class Engine:
     def clear_memos(self) -> None:
         """Drop in-memory memoized results (tests bound memory)."""
         self._sim_memo.clear()
+        _PROGRAM_MEMO.clear()
 
     def describe(self) -> Dict[str, object]:
         """Engine configuration for run metadata."""
@@ -836,6 +1061,8 @@ class Engine:
             "partial": self.config.partial,
             "backend": kernels.default_backend_name(),
             "backend_fingerprint": kernels.backend_fingerprint(),
+            "artifacts": self.plane is not None,
+            "batch_cells": self.config.batch_cells,
         }
 
     def robustness(self) -> Dict[str, object]:
@@ -854,6 +1081,8 @@ class Engine:
         }
         if self.cache is not None:
             document["cache"] = dict(self.cache.counters)
+        if self.plane is not None:
+            document["artifacts"] = dict(self.plane.counters)
         return document
 
 
@@ -870,6 +1099,12 @@ def get_engine() -> Engine:
     global _ENGINE
     if _ENGINE is None:
         _ENGINE = Engine()
+    return _ENGINE
+
+
+def peek_engine() -> Optional[Engine]:
+    """The process-wide engine if one exists, without creating one
+    (creation pins the configured kernel backend process-wide)."""
     return _ENGINE
 
 

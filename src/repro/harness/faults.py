@@ -28,6 +28,16 @@ Fault points (:data:`FAULT_POINTS`):
     parent process, so the serial retry completes).
 ``artifact.unpicklable``
     a *pool worker* returns a payload the result pipe cannot pickle.
+``artifact.read.ioerror``
+    :meth:`ArtifactPlane.attach` fails to open/map the bundle file.
+``artifact.read.garbage``
+    the mapped bundle bytes are garbage — exercises the plane's header
+    verification and quarantine.
+``artifact.read.truncated``
+    the bundle file is cut mid-column (a writer died, a disk filled) —
+    exercises the bounds/checksum checks.
+``artifact.write.ioerror``
+    :meth:`ArtifactPlane.store` hits an IO error mid-write.
 
 Plans come from the ``REPRO_FAULTS`` environment variable or from
 :func:`install_plan` (tests).  Syntax: comma-separated
@@ -38,11 +48,13 @@ Plans come from the ``REPRO_FAULTS`` environment variable or from
 
 Firing is deterministic — the first *times* arrivals at a point fire,
 later ones pass through — so a faulted run is exactly reproducible.
-Worker-level points (``worker.*``, ``artifact.*``) are drawn by the
-*parent* at dispatch time (:func:`draw_cell_faults`) and shipped to
-workers as task arguments, so their budgets are spent exactly once
-process-wide; cache-level points fire wherever the load/store happens
-(a forked pool worker decrements its own copy of the plan).  Every
+Worker-level points (``worker.*``, ``artifact.unpicklable``) are
+drawn by the *parent* at dispatch time (:func:`draw_cell_faults`) and
+shipped to workers as task arguments, so their budgets are spent
+exactly once process-wide; cache-level points (``cache.*`` and the
+``artifact.read.*``/``artifact.write.*`` plane points) fire wherever
+the load/store happens (a forked pool worker decrements its own copy
+of the plan).  Every
 fired fault is
 tallied (:func:`fired_counts`) and counted in the obs metrics registry
 (``repro_faults_injected_total``) when telemetry is on, which is how
@@ -77,6 +89,10 @@ FAULT_POINTS: Dict[str, str] = {
     "worker.crash": "cell computation dies mid-cell",
     "worker.hang": "pool worker sleeps past the cell timeout",
     "artifact.unpicklable": "pool worker returns an unpicklable payload",
+    "artifact.read.ioerror": "artifact bundle unreadable (OSError on open)",
+    "artifact.read.garbage": "artifact bundle bytes corrupted on read",
+    "artifact.read.truncated": "artifact bundle truncated mid-file",
+    "artifact.write.ioerror": "artifact store hits an IO error mid-write",
 }
 
 #: ``times`` value meaning "fire on every call".

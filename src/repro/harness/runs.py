@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis import DeadnessAnalysis
 from repro.emulator import Trace
-from repro.harness.engine import CellSpec, get_engine
+from repro.harness.engine import CellSpec, get_engine, peek_engine
 from repro.lang import CompilerOptions
 from repro.workloads import Workload, get_workload, workload_names
 
@@ -75,4 +75,9 @@ def suite_runs(scale: float = 1.0, opt_level: int = 2,
 def clear_cache() -> None:
     """Drop memoized runs (tests use this to bound memory)."""
     _MEMO.clear()
-    get_engine().clear_memos()
+    engine = peek_engine()
+    # Only clear a live engine's memos: instantiating one here would
+    # resurrect the singleton after reset_engine() — and pin the
+    # env-selected kernel backend as a process-wide side effect.
+    if engine is not None:
+        engine.clear_memos()

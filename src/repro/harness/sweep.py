@@ -17,9 +17,15 @@ sweep point reuse them:
 * :class:`~repro.predictors.dead.paths.PathInfo` objects are memoized
   in-process per (run, path_bits) on top of the engine's disk cache;
 * timing sweeps go through the engine's parallel prefetch + cached
-  ``simulate`` exactly as before, with the base/elim pairing logic
+  ``simulate``, with the base/elim pairing logic
   (:func:`elim_variant`) kept here so every experiment builds variants
-  the same way.
+  the same way.  The engine batches prefetch dispatch per cell
+  (``EngineConfig.batch_cells``): all sweep points sharing a workload
+  travel to one worker, which materializes the cell's trace and
+  analysis once — from the mmap-backed artifact plane when it is on
+  (:mod:`repro.harness.artifacts`), so sibling workers share one
+  physical copy of each trace's columns instead of unpickling their
+  own.
 
 Aggregation order is unchanged (suite order, fresh predictor per
 workload), so sweep results are byte-identical to the pre-executor

@@ -125,8 +125,29 @@ class BatchedBackend(KernelBackend):
                   fu: Sequence[int]) -> FrontendColumns:
         sidx = decoded.sidx
         statics = decoded.statics
-        control_col = _gather(statics.is_branch, sidx)
-        cond_col = _gather(statics.is_cond_branch, sidx)
+        # An attached artifact bundle (harness/artifacts.py) already
+        # holds the two derived event streams in representable form
+        # (plain int64 columns that hydrate to exact int lists); the
+        # per-dynamic gathers stay local — they are single C-level
+        # passes over the mapped/static tables either way.
+        control_index = cond_prefix = None
+        bundle = getattr(decoded.trace, "artifact_bundle", None)
+        if bundle is not None:
+            try:
+                if bundle.n == len(sidx) \
+                        and bundle.has("control_index") \
+                        and bundle.has("cond_prefix"):
+                    control_index = bundle.ints("control_index")
+                    cond_prefix = bundle.ints("cond_prefix")
+            except Exception:
+                control_index = cond_prefix = None
+        if control_index is None or cond_prefix is None:
+            control_col = _gather(statics.is_branch, sidx)
+            cond_col = _gather(statics.is_cond_branch, sidx)
+            control_index = list(compress(range(len(sidx)),
+                                          control_col))
+            cond_prefix = list(accumulate(chain((0,),
+                                                map(int, cond_col))))
         return FrontendColumns(
             dest=_gather(statics.dest, sidx),
             src1=_gather(statics.src1, sidx),
@@ -135,8 +156,8 @@ class BatchedBackend(KernelBackend):
             is_store=_gather(statics.is_store, sidx),
             eligible=_gather(statics.eligible, sidx),
             fu=_gather(fu, sidx),
-            control_index=list(compress(range(len(sidx)), control_col)),
-            cond_prefix=list(accumulate(chain((0,), map(int, cond_col)))))
+            control_index=control_index,
+            cond_prefix=cond_prefix)
 
 
 def _backward_pass(decoded: DecodedTrace, track_stores: bool,

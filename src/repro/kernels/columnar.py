@@ -66,13 +66,31 @@ _CACHE_ATTR = "_columnar_arrays"
 class _Arrays:
     """NumPy views of one :class:`DecodedTrace`, cached on the decoded
     object so repeated kernel calls (sweeps, fused + stream pairs)
-    convert the Python columns exactly once."""
+    convert the Python columns exactly once.
 
-    def __init__(self, decoded: DecodedTrace):
+    With an attached artifact *bundle* (``trace.artifact_bundle``, see
+    :mod:`repro.harness.artifacts`) the dynamic columns and the sorted
+    read/write key indexes hydrate as **zero-copy** ``frombuffer``
+    views of the mapped file instead of list conversions; only the
+    per-static gathers still run (one C-level ``take`` each).
+    """
+
+    def __init__(self, decoded: DecodedTrace, bundle=None):
         trace = decoded.trace
         statics = decoded.statics
         self.n = len(decoded.sidx)
-        self.sidx = np.asarray(decoded.sidx, dtype=np.int64)
+        if bundle is not None:
+            self.sidx = bundle.array("sidx")
+            self.pcs = bundle.array("pcs")
+            self.taken = bundle.array("taken")
+            self.word = (bundle.array("word") if bundle.has("word")
+                         else np.asarray(trace.addrs,
+                                         dtype=np.int64) & ~3)
+        else:
+            self.sidx = np.asarray(decoded.sidx, dtype=np.int64)
+            self.pcs = np.asarray(trace.pcs, dtype=np.int64)
+            self.taken = np.asarray(trace.taken, dtype=bool)
+            self.word = np.asarray(trace.addrs, dtype=np.int64) & ~3
         self.dest = np.asarray(statics.dest,
                                dtype=np.int64)[self.sidx]
         self.src1 = np.asarray(statics.src1,
@@ -91,14 +109,14 @@ class _Arrays:
                                dtype=bool)[self.sidx]
         self.control = np.asarray(statics.is_branch,
                                   dtype=bool)[self.sidx]
-        self.pcs = np.asarray(trace.pcs, dtype=np.int64)
-        self.taken = np.asarray(trace.taken, dtype=bool)
-        self.word = np.asarray(trace.addrs, dtype=np.int64) & ~3
+        #: the attached artifact bundle, if any (read-only views)
+        self.bundle = bundle
         #: plain-list mirrors for the sequential labeling loop (scalar
         #: indexing of ndarrays is slower than list indexing)
         self.lists = None
         #: sorted (register, position) keys of every register read and
         #: every register write; built on first deadness/kill query
+        #: (or mapped straight from the bundle)
         self.read_keys = None
         self.write_keys = None
         #: provenance tags as integer codes (codes follow the sorted
@@ -120,6 +138,10 @@ class _Arrays:
         (``searchsorted`` then answers "any read of reg r in positions
         (a, b]?" for a whole victim batch at once)."""
         if self.read_keys is None:
+            if self.bundle is not None \
+                    and self.bundle.has("read_keys"):
+                self.read_keys = self.bundle.array("read_keys")
+                return self.read_keys
             span = self.n + 1
             p1 = np.flatnonzero(self.src1 > 0)
             p2 = np.flatnonzero(self.src2 > 0)
@@ -133,6 +155,14 @@ class _Arrays:
         """Every register write as a sorted ``reg * (n+1) + pos`` key
         plus the write positions/registers in that order."""
         if self.write_keys is None:
+            bundle = self.bundle
+            if bundle is not None and bundle.has("write_keys") \
+                    and bundle.has("write_pos") \
+                    and bundle.has("write_reg"):
+                self.write_keys = (bundle.array("write_keys"),
+                                   bundle.array("write_pos"),
+                                   bundle.array("write_reg"))
+                return self.write_keys
             span = self.n + 1
             pos = np.flatnonzero(self.dest > 0)
             reg = self.dest[pos]
@@ -153,10 +183,27 @@ class _Arrays:
         return self.tag_names, self.tag_codes
 
 
+def _usable_bundle(decoded: DecodedTrace):
+    """The trace's attached artifact bundle when it matches this
+    decode (right length, dynamic columns present); else None."""
+    bundle = getattr(decoded.trace, "artifact_bundle", None)
+    if bundle is None:
+        return None
+    try:
+        if bundle.n != len(decoded.sidx):
+            return None
+        if not all(bundle.has(name)
+                   for name in ("sidx", "pcs", "taken")):
+            return None
+    except Exception:
+        return None
+    return bundle
+
+
 def _arrays(decoded: DecodedTrace) -> "_Arrays":
     cached = getattr(decoded, _CACHE_ATTR, None)
     if cached is None or cached.n != len(decoded.sidx):
-        cached = _Arrays(decoded)
+        cached = _Arrays(decoded, _usable_bundle(decoded))
         setattr(decoded, _CACHE_ATTR, cached)
     return cached
 
@@ -231,8 +278,16 @@ class ColumnarBackend(KernelBackend):
                   fu: Sequence[int]) -> FrontendColumns:
         arrays = _arrays(decoded)
         fu_col = np.asarray(fu, dtype=np.int64)[arrays.sidx]
-        prefix = np.zeros(arrays.n + 1, dtype=np.int64)
-        np.cumsum(arrays.cond, out=prefix[1:])
+        bundle = arrays.bundle
+        if bundle is not None and bundle.has("control_index") \
+                and bundle.has("cond_prefix"):
+            control_index = bundle.array("control_index").tolist()
+            cond_prefix = bundle.array("cond_prefix").tolist()
+        else:
+            prefix = np.zeros(arrays.n + 1, dtype=np.int64)
+            np.cumsum(arrays.cond, out=prefix[1:])
+            control_index = np.flatnonzero(arrays.control).tolist()
+            cond_prefix = prefix.tolist()
         return FrontendColumns(
             dest=arrays.dest.tolist(),
             src1=arrays.src1.tolist(),
@@ -241,8 +296,8 @@ class ColumnarBackend(KernelBackend):
             is_store=arrays.store.tolist(),
             eligible=arrays.eligible.tolist(),
             fu=fu_col.tolist(),
-            control_index=np.flatnonzero(arrays.control).tolist(),
-            cond_prefix=prefix.tolist())
+            control_index=control_index,
+            cond_prefix=cond_prefix)
 
     # -- labeling -----------------------------------------------------
 
@@ -346,6 +401,55 @@ class ColumnarBackend(KernelBackend):
         return KillColumns(distances=dist.tolist(),
                            unkilled=int(np.count_nonzero(~has_next)),
                            by_provenance=by_provenance)
+
+
+def plane_columns(trace, statics):
+    """The derived kernel columns the artifact plane persists next to
+    the raw trace columns: word addresses, the sorted read and
+    write-successor key indexes (shared by the direct-label and
+    kill-distance queries), and the front end's control/cond-prefix
+    event streams.  Everything here is a deterministic function of the
+    trace, so hydrating the stored arrays is byte-identical to
+    deriving them.  Without NumPy only the front-end event streams are
+    written (stdlib derivation — they are the ones the list backends
+    can hydrate); the key indexes are columnar-only detail."""
+    from repro.kernels.base import DecodedTrace
+
+    if np is None:
+        from itertools import accumulate, chain, compress
+
+        sidx = trace.static_indices()
+        from repro.harness.artifacts import i8_bytes
+
+        control_col = list(map(statics.is_branch.__getitem__, sidx))
+        cond_col = list(map(statics.is_cond_branch.__getitem__, sidx))
+        return [
+            ("control_index", "i8", i8_bytes(
+                list(compress(range(len(sidx)), control_col)))),
+            ("cond_prefix", "i8", i8_bytes(
+                list(accumulate(chain((0,), map(int, cond_col)))))),
+        ]
+
+    decoded = DecodedTrace(trace=trace, statics=statics,
+                           sidx=trace.static_indices())
+    arrays = _Arrays(decoded)
+    wkeys, wpos, wreg = arrays.reg_write_keys()
+    prefix = np.zeros(arrays.n + 1, dtype=np.int64)
+    np.cumsum(arrays.cond, out=prefix[1:])
+
+    def raw(values):
+        return np.ascontiguousarray(
+            values.astype("<i8", copy=False)).tobytes()
+
+    return [
+        ("word", "i8", raw(arrays.word)),
+        ("read_keys", "i8", raw(arrays.reg_read_keys())),
+        ("write_keys", "i8", raw(wkeys)),
+        ("write_pos", "i8", raw(wpos)),
+        ("write_reg", "i8", raw(wreg)),
+        ("control_index", "i8", raw(np.flatnonzero(arrays.control))),
+        ("cond_prefix", "i8", raw(prefix)),
+    ]
 
 
 def _dead_loop(arrays: "_Arrays", track_stores: bool):

@@ -158,9 +158,10 @@ def render_kernel_passes(spans: List[Dict[str, object]]) -> str:
 
 def render_robustness(run_doc: Dict[str, object]) -> str:
     """The run's robustness section: retries, pool faults, serial
-    degradation, cache store-error/quarantine tallies, injected
-    faults, and cells dropped in partial mode (``Engine.robustness``
-    via run metadata)."""
+    degradation, cache store-error/quarantine tallies, artifact-plane
+    attach/store/quarantine counters, injected faults, and cells
+    dropped in partial mode (``Engine.robustness`` via run
+    metadata)."""
     doc = run_doc.get("robustness")
     if not isinstance(doc, dict):
         return ("no robustness data recorded "
@@ -175,6 +176,15 @@ def render_robustness(run_doc: Dict[str, object]) -> str:
                      cache.get("quarantined", 0),
                      cache.get("tmp_swept", 0),
                      cache.get("evicted", 0)))
+    plane = doc.get("artifacts")
+    if isinstance(plane, dict):
+        lines.append("artifact plane: attach hits %d, misses %d, "
+                     "stores %d, store errors %d, quarantined %d" % (
+                         plane.get("attach_hits", 0),
+                         plane.get("attach_misses", 0),
+                         plane.get("stores", 0),
+                         plane.get("store_errors", 0),
+                         plane.get("quarantined", 0)))
     injected = doc.get("faults_injected") or {}
     if injected:
         lines.append("faults injected: " + ", ".join(

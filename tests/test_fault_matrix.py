@@ -4,10 +4,13 @@ byte-identical with faults injected and without.
 One clean pass over all 18 experiments establishes the baseline (and
 warms the shared stage cache); each matrix case re-runs the full suite
 under one fault plan and compares every ``render()`` string against
-the clean output.  Cache-level faults run serially (``jobs=1``) so the
-engine's own :class:`CacheDir` handle sees every injection; worker
-faults run against a real pool (``jobs=2``) so crashes, hangs, and
-unpicklable result payloads cross an actual process boundary.
+the clean output.  Cache-level and artifact-plane faults run serially
+(``jobs=1``) so the engine's own :class:`CacheDir` handle and plane
+counters see every injection; worker faults run against a real pool
+(``jobs=2``) so crashes, hangs, and unpicklable result payloads cross
+an actual process boundary.  A plane-off leg re-runs the suite with
+``EngineConfig(artifacts=False)`` against the same warm cache, pinning
+the tentpole's byte-identity claim across the plane on/off boundary.
 
 The CI fault-injection leg runs this file with ``REPRO_FAULTS`` set;
 :func:`test_env_plan_matrix` picks the plan up from the environment
@@ -28,13 +31,14 @@ from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
 SCALE = 0.25
 
 
-def _run_all(cache_dir, jobs=1, cell_timeout=60.0):
+def _run_all(cache_dir, jobs=1, cell_timeout=60.0, **extra):
     """All experiments through a freshly configured engine; returns
     the engine and every experiment's rendered output."""
     engine = configure(EngineConfig(jobs=jobs, cache=True,
                                     cache_dir=str(cache_dir),
                                     cell_timeout=cell_timeout,
-                                    retries=2, retry_backoff=0.0))
+                                    retries=2, retry_backoff=0.0,
+                                    **extra))
     runs.clear_cache()
     outputs = {identifier: run_experiment(identifier,
                                           scale=SCALE).render()
@@ -82,6 +86,47 @@ def test_cache_fault_matrix(baseline, plan_text, store_errors,
     assert robust["failed_cells"] == []
     assert robust["cache"]["store_errors"] == store_errors
     assert robust["cache"]["quarantined"] == quarantined
+
+
+@pytest.mark.parametrize("plan_text,store_errors,quarantined", [
+    # An unreadable bundle is a plane miss: the pickle tier (or a
+    # recompute) serves the cell, and the miss backfills a new bundle.
+    ("artifact.read.ioerror:3", 0, 0),
+    # Corrupt and truncated bundles additionally quarantine the file.
+    ("artifact.read.garbage:3", 0, 3),
+    ("artifact.read.truncated:3", 0, 3),
+    # Plane write faults need store calls; forced read misses trigger
+    # the backfill stores the write faults then poison.
+    ("artifact.read.ioerror:2,artifact.write.ioerror:2", 2, 0),
+])
+def test_artifact_fault_matrix(baseline, plan_text, store_errors,
+                               quarantined):
+    cache_dir, clean = baseline
+    plan = faults.FaultPlan.parse(plan_text)
+    expected_fires = sum(plan.remaining.values())
+    faults.install_plan(plan)
+    engine, outputs = _run_all(cache_dir)
+    _assert_identical(outputs, clean)
+    robust = engine.robustness()
+    assert sum(robust["faults_injected"].values()) == expected_fires
+    assert robust["failed_cells"] == []
+    plane = robust["artifacts"]
+    assert plane["store_errors"] == store_errors
+    assert plane["quarantined"] == quarantined
+    # The stage cache behind the plane stayed clean throughout.
+    assert robust["cache"]["store_errors"] == 0
+    assert robust["cache"]["quarantined"] == 0
+
+
+def test_plane_off_matches(baseline):
+    """The same warm cache rendered with the artifact plane disabled:
+    byte-identical, pure pickle-tier hits."""
+    cache_dir, clean = baseline
+    faults.reset_faults()
+    engine, outputs = _run_all(cache_dir, artifacts=False)
+    _assert_identical(outputs, clean)
+    assert engine.plane is None
+    assert "artifacts" not in engine.robustness()
 
 
 @pytest.mark.parametrize("plan_text", [

@@ -16,9 +16,9 @@ from repro.pipeline.config import DeadPredictorConfig
 SCALE = 0.3
 
 
-def make_engine(tmp_path, jobs=1, cache=True, name="cache"):
+def make_engine(tmp_path, jobs=1, cache=True, name="cache", **extra):
     return Engine(EngineConfig(jobs=jobs, cache=cache,
-                               cache_dir=str(tmp_path / name)))
+                               cache_dir=str(tmp_path / name), **extra))
 
 
 def spec(workload="matmul", scale=SCALE, **options):
@@ -89,7 +89,10 @@ class TestStageCache:
         assert engine.stats.hits("compile") == 1
 
     def test_corrupt_entry_recomputes(self, tmp_path):
-        engine = make_engine(tmp_path)
+        # Pin the artifact plane off: this exercises the pickle tier's
+        # own corruption handling (a live plane would transparently
+        # serve the cell from its bundle instead).
+        engine = make_engine(tmp_path, artifacts=False)
         first = engine.run_cells([spec()])[0]
         path = engine.cache.entry_path("trace", first.trace_key)
         assert os.path.exists(path)
@@ -97,23 +100,39 @@ class TestStageCache:
         with open(path, "wb") as stream:  # truncate mid-pickle
             stream.write(blob[: len(blob) // 2])
 
-        repaired = make_engine(tmp_path)
+        repaired = make_engine(tmp_path, artifacts=False)
         second = repaired.run_cells([spec()])[0]
         assert repaired.stats.misses("trace") == 1  # transparent miss
         assert second.trace.pcs == first.trace.pcs
         assert second.output == first.output
         # The entry was re-stored and is valid again.
-        third = make_engine(tmp_path)
+        third = make_engine(tmp_path, artifacts=False)
         third.run_cells([spec()])
         assert third.stats.hits("trace") == 1
 
-    def test_garbage_entry_recomputes(self, tmp_path):
+    def test_corrupt_entry_served_by_plane(self, tmp_path):
+        # Same corruption, plane on: the cell still counts a stage hit
+        # because the bundle tier serves it without touching pickle.
         engine = make_engine(tmp_path)
+        first = engine.run_cells([spec()])[0]
+        path = engine.cache.entry_path("trace", first.trace_key)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as stream:
+            stream.write(blob[: len(blob) // 2])
+        repaired = make_engine(tmp_path)
+        second = repaired.run_cells([spec()])[0]
+        assert repaired.stats.hits("trace") == 1
+        assert repaired.plane.counters["attach_hits"] > 0
+        assert second.trace.pcs == first.trace.pcs
+        assert second.output == first.output
+
+    def test_garbage_entry_recomputes(self, tmp_path):
+        engine = make_engine(tmp_path, artifacts=False)
         first = engine.run_cells([spec()])[0]
         path = engine.cache.entry_path("analysis", first.analysis_key)
         with open(path, "wb") as stream:
             stream.write(b"not a pickle at all")
-        repaired = make_engine(tmp_path)
+        repaired = make_engine(tmp_path, artifacts=False)
         second = repaired.run_cells([spec()])[0]
         assert repaired.stats.misses("analysis") == 1
         assert second.analysis.dead == first.analysis.dead

@@ -45,8 +45,14 @@ class TestRegistry:
     def test_columnar_selectable(self, monkeypatch):
         assert kernels.get_backend("columnar").name == "columnar"
         monkeypatch.setenv("REPRO_BACKEND", "columnar")
-        assert kernels.default_backend_name() == "columnar"
-        assert "columnar" in kernels.backend_fingerprint()
+        # An earlier engine-driven test may have pinned the env's
+        # backend process-wide; this test asserts *env* resolution.
+        kernels.set_default_backend(None)
+        try:
+            assert kernels.default_backend_name() == "columnar"
+            assert "columnar" in kernels.backend_fingerprint()
+        finally:
+            kernels.set_default_backend(None)
 
     def test_unknown_backend_raises(self):
         with pytest.raises(KeyError):
