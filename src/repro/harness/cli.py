@@ -14,10 +14,15 @@ Examples::
     python -m repro.harness cache gc --max-bytes 100000000   # bound it
     python -m repro.harness F6 F7 --obs      # collect telemetry
     python -m repro.harness F6 --obs --profile   # + cProfile pstats
+    python -m repro.harness F5 --jobs 2 --serve-metrics 9300  # live scrape
     python -m repro.harness obs report last  # render stored telemetry
     python -m repro.harness obs timeline last --label mergesort
     python -m repro.harness obs hotspots last --top 20
     python -m repro.harness obs export last  # Prometheus text format
+    python -m repro.harness obs history      # per-run timing history
+    python -m repro.harness obs trend --pass deadness
+    python -m repro.harness obs regress --threshold 2.0  # CI gate
+    python -m repro.harness obs serve --port 9300  # replay stored run
 
 Experiment runs execute through :mod:`repro.harness.engine` (staged
 on-disk cache + optional multiprocessing) and each invocation records
@@ -122,6 +127,16 @@ def _experiments_main(argv: List[str]) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="store a cProfile pstats file per "
                              "experiment (implies --obs)")
+    parser.add_argument("--serve-metrics", type=int, default=None,
+                        metavar="PORT",
+                        help="expose the live merged registry on "
+                             "http://127.0.0.1:PORT/metrics (and "
+                             "/healthz) for the duration of the run; "
+                             "0 picks an ephemeral port (implies "
+                             "--obs)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append this run to the timing "
+                             "history under <cache-dir>/obs-history/")
     _add_engine_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -139,7 +154,8 @@ def _experiments_main(argv: List[str]) -> int:
     from repro.harness.runmeta import RunRecorder
 
     obs_config = obslib.obs_config_from_env()
-    if (args.obs or args.profile) and obs_config is None:
+    if (args.obs or args.profile or args.serve_metrics is not None) \
+            and obs_config is None:
         obs_config = obslib.ObsConfig()
     collector = obslib.configure_obs(obs_config)
 
@@ -148,8 +164,43 @@ def _experiments_main(argv: List[str]) -> int:
     runs_root = CacheDir(args.cache_dir).runs_root
     obs_dir = os.path.join(runs_root, "obs-%s" % recorder.run_id)
 
+    server = None
+    if args.serve_metrics is not None:
+        from repro.obs.serve import MetricsServer, collector_provider
+
+        server = MetricsServer(
+            collector_provider,
+            health_provider=lambda: {"run_id": recorder.run_id},
+            port=args.serve_metrics)
+        try:
+            host, port = server.start()
+        except OSError as error:
+            print("could not start metrics endpoint: %s" % error,
+                  file=sys.stderr)
+            server = None
+        else:
+            # Printed (and flushed) before the first experiment so a
+            # scraper can attach while the run executes.
+            print("serving /metrics on http://%s:%d/metrics "
+                  "(healthz: /healthz)" % (host, port), flush=True)
+
     dumps = {}
     failed_experiments = []
+    try:
+        return _run_experiments(args, ids, engine, collector, recorder,
+                                runs_root, obs_dir, dumps,
+                                failed_experiments, argv)
+    finally:
+        if server is not None:
+            server.stop()
+
+
+def _run_experiments(args, ids, engine, collector, recorder, runs_root,
+                     obs_dir, dumps, failed_experiments,
+                     argv: List[str]) -> int:
+    """The experiment loop plus end-of-run persistence (split from
+    :func:`_experiments_main` so the metrics endpoint can be torn down
+    in one ``finally`` regardless of how the run ends)."""
     with contextlib.ExitStack() as run_stack:
         if collector is not None:
             run_stack.enter_context(collector.tracer.span(
@@ -233,6 +284,24 @@ def _experiments_main(argv: List[str]) -> int:
         print("partial: cell %s failed after retries: %s" %
               (record.get("cell"), record.get("error")),
               file=sys.stderr)
+    if not (args.no_meta or args.no_history):
+        from repro.obs import history as obs_history
+
+        try:
+            record = obs_history.make_record(
+                recorder.document(),
+                obs_history.kernel_pass_table(collector),
+                scale=args.scale)
+            history_file = obs_history.append_record(args.cache_dir,
+                                                     record)
+        except OSError as error:
+            print("could not append run history: %s" % error,
+                  file=sys.stderr)
+        else:
+            recorder.history = {
+                "path": os.path.abspath(history_file),
+                "checksum": record["checksum"],
+            }
     if not args.no_meta:
         try:
             path = recorder.write(runs_root)
@@ -358,10 +427,16 @@ def _obs_main(argv: List[str]) -> int:
         description="Render stored observability artifacts: 'report' "
                     "(spans + timelines + hotspots), 'timeline' "
                     "(pipeline occupancy charts), 'hotspots' (top "
-                    "mispredicted PCs), 'export' (Prometheus text).")
+                    "mispredicted PCs), 'export' (Prometheus text), "
+                    "'history'/'trend' (the persistent run-history "
+                    "log), 'regress' (latest run vs rolling baseline; "
+                    "non-zero exit on regression — a CI gate), "
+                    "'serve' (HTTP /metrics endpoint over a stored "
+                    "run).")
     parser.add_argument("action",
                         choices=("report", "timeline", "hotspots",
-                                 "export"))
+                                 "export", "history", "trend",
+                                 "regress", "serve"))
     parser.add_argument("run", nargs="?", default="last",
                         metavar="RUN",
                         help="run id, unique prefix, or 'last' "
@@ -377,6 +452,34 @@ def _obs_main(argv: List[str]) -> int:
     parser.add_argument("--cache-dir",
                         default=config_from_env().cache_dir,
                         metavar="DIR", help="cache root")
+    parser.add_argument("--history", metavar="PATH", dest="history",
+                        help="history file (default: "
+                             "<cache-dir>/obs-history/history.jsonl)")
+    parser.add_argument("--last", type=int, metavar="N",
+                        help="history/trend: only the newest N runs")
+    parser.add_argument("--pass", action="append", dest="pass_filters",
+                        metavar="NAME",
+                        help="trend: only kernel passes whose name "
+                             "contains NAME (repeatable)")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        metavar="X",
+                        help="regress: fail when a tracked metric "
+                             "exceeds baseline_mean * X (default 2.0)")
+    parser.add_argument("--window", type=int, default=5, metavar="N",
+                        help="regress: rolling-baseline size "
+                             "(default 5)")
+    parser.add_argument("--against", metavar="PATH",
+                        help="regress: compare against this committed "
+                             "baseline history file instead of "
+                             "earlier runs in the same log")
+    parser.add_argument("--any-fingerprint", action="store_true",
+                        help="regress: compare across config "
+                             "fingerprints (backend/experiments/"
+                             "scale) instead of requiring a match")
+    parser.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                        help="serve: bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0, metavar="PORT",
+                        help="serve: port (default 0 = ephemeral)")
     args = parser.parse_args(argv)
 
     from repro.harness.cachedir import CacheDir
@@ -386,6 +489,10 @@ def _obs_main(argv: List[str]) -> int:
                                   resolve_run)
 
     runs_root = CacheDir(args.cache_dir).runs_root
+    if args.action in ("history", "trend", "regress"):
+        return _obs_history_main(args)
+    if args.action == "serve":
+        return _obs_serve_main(args, runs_root)
     run_doc = resolve_run(runs_root, args.run)
     if run_doc is None:
         print("no run matches %r under %s (run an experiment with "
@@ -413,6 +520,82 @@ def _obs_main(argv: List[str]) -> int:
     else:  # export
         sys.stdout.write(obs.get("metrics", "") or
                          "# no metrics recorded\n")
+    return 0
+
+
+def _obs_history_main(args) -> int:
+    """The run-history actions: ``history``, ``trend``, ``regress``."""
+    from repro.obs import history as obs_history
+
+    path = args.history or obs_history.history_path(args.cache_dir)
+    records, skipped = obs_history.load_history(path)
+    if skipped:
+        print("warning: skipped %d corrupt history line%s in %s" %
+              (skipped, "" if skipped == 1 else "s", path),
+              file=sys.stderr)
+    if args.json:
+        import json
+
+        json.dump({"path": path, "records": records, "skipped": skipped},
+                  sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    if args.action == "history":
+        print(obs_history.render_history(records, last=args.last))
+        return 0
+    if args.action == "trend":
+        print(obs_history.render_trend(records,
+                                       passes=args.pass_filters,
+                                       last=args.last))
+        return 0
+    # regress: newest record vs rolling (or committed) baseline
+    if not records:
+        print("no history recorded under %s (run an experiment "
+              "first)" % path, file=sys.stderr)
+        return 1
+    latest = records[-1]
+    if args.against:
+        baseline, base_skipped = obs_history.load_history(args.against)
+        if base_skipped:
+            print("warning: skipped %d corrupt baseline line%s in %s" %
+                  (base_skipped, "" if base_skipped == 1 else "s",
+                   args.against), file=sys.stderr)
+        if not args.any_fingerprint:
+            key = obs_history.fingerprint(latest)
+            baseline = [record for record in baseline
+                        if obs_history.fingerprint(record) == key]
+        baseline = baseline[-args.window:]
+    else:
+        baseline = obs_history.baseline_for(
+            records, latest, window=args.window,
+            any_fingerprint=args.any_fingerprint)
+    regressions = obs_history.compare_to_baseline(
+        latest, baseline, threshold=args.threshold)
+    print(obs_history.render_regress(latest, baseline, regressions,
+                                     args.threshold))
+    return 1 if regressions else 0
+
+
+def _obs_serve_main(args, runs_root: str) -> int:
+    """``obs serve``: a foreground /metrics endpoint replaying a
+    stored run's exposition (re-resolved per request)."""
+    from repro.obs.serve import MetricsServer, stored_provider
+
+    server = MetricsServer(
+        stored_provider(runs_root, args.run),
+        health_provider=lambda: {"runs_root": runs_root,
+                                 "run": args.run},
+        host=args.host, port=args.port)
+    try:
+        host, port = server.start()
+    except OSError as error:
+        print("could not bind %s:%d: %s" %
+              (args.host, args.port, error), file=sys.stderr)
+        return 1
+    print("serving stored run %r on http://%s:%d/metrics "
+          "(healthz: /healthz; Ctrl-C to stop)" %
+          (args.run, host, port), flush=True)
+    server.run_until_interrupt()
     return 0
 
 

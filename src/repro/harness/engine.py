@@ -513,6 +513,37 @@ def _compute_cell_payload(spec: CellSpec,
     return payload
 
 
+def _worker_obs_config():
+    """The ObsConfig pool workers should run under (None = telemetry
+    off, no worker-side collection or delta serialization at all).
+    Shipping the parent's config keeps the worker's timing-key obs
+    fingerprint identical to the parent's, fork or spawn."""
+    collector = obs.get_collector()
+    return collector.config if collector is not None else None
+
+
+def _pool_cell_worker(spec: CellSpec, config: EngineConfig,
+                      injected: Tuple[str, ...],
+                      obs_config) -> Dict[str, object]:
+    """Pool entry point for one cell: install a fresh per-task
+    collector (never the fork-inherited copy of the parent's), compute
+    the payload, and ride the worker's telemetry delta home on it.
+    With *obs_config* ``None`` this is exactly
+    :func:`_compute_cell_payload` — no collector, no snapshot, no
+    extra bytes on the result pipe."""
+    from repro.obs import delta as obs_delta
+
+    if obs_config is None:
+        return _compute_cell_payload(spec, config, None, injected)
+    obs_delta.install_worker_collector(obs_config)
+    try:
+        payload = _compute_cell_payload(spec, config, None, injected)
+        payload["obs_delta"] = obs_delta.snapshot_delta()
+        return payload
+    finally:
+        obs.reset_obs()
+
+
 def _fused_to_doc(fused: FusedColumns) -> Dict[str, object]:
     """The fused pass's extra columns as plain picklable data (the
     deadness columns already travel as blobs + counts)."""
@@ -648,32 +679,49 @@ def _simulate_key(trace_key: str, machine_config: MachineConfig,
 
 def _prefetch_sim_worker(args: Tuple[CellSpec,
                                      Tuple[MachineConfig, ...],
-                                     EngineConfig, Tuple[str, ...]]
-                         ) -> List[Tuple[str, PipelineResult, float]]:
+                                     EngineConfig, Tuple[str, ...],
+                                     "object"]
+                         ) -> Dict[str, object]:
     """Pool worker: materialize a (hot-cache) cell once, then run one
     timing simulation per machine config in the batch, persisting each
     and returning all of them for the in-memory memo.  Batching is the
     point: the cell's trace/analysis attach (or unpickle) once per
-    *batch*, not once per simulation."""
-    spec, machine_configs, config, injected = args
-    cache = CacheDir(config.cache_dir) if config.cache else None
-    plane = _plane_for(config)
-    payload = _compute_cell_payload(spec, config, cache,
-                                    injected=injected, plane=plane)
-    artifact = _materialize_payload(spec, payload, config, cache, plane)
-    results: List[Tuple[str, PipelineResult, float]] = []
-    for machine_config in machine_configs:
-        key = _simulate_key(artifact.trace_key, machine_config,
-                            artifact.analysis)
-        started = time.perf_counter()
-        result = cache.load("timing", key) if cache else MISS
-        if not isinstance(result, PipelineResult):
-            result = simulate(artifact.trace, machine_config,
-                              artifact.analysis)
-            if cache:
-                cache.store("timing", key, result)
-        results.append((key, result, time.perf_counter() - started))
-    return results
+    *batch*, not once per simulation.  Like cell dispatch, the batch
+    runs under a fresh per-task collector (the parent's ObsConfig, so
+    timing keys agree) and ships its telemetry delta back in the
+    result — ``{"results": [...], "obs_delta": ... or absent}``."""
+    from repro.obs import delta as obs_delta
+
+    spec, machine_configs, config, injected, obs_config = args
+    if obs_config is not None:
+        obs_delta.install_worker_collector(obs_config)
+    try:
+        cache = CacheDir(config.cache_dir) if config.cache else None
+        plane = _plane_for(config)
+        payload = _compute_cell_payload(spec, config, cache,
+                                        injected=injected, plane=plane)
+        artifact = _materialize_payload(spec, payload, config, cache,
+                                        plane)
+        results: List[Tuple[str, PipelineResult, float]] = []
+        for machine_config in machine_configs:
+            key = _simulate_key(artifact.trace_key, machine_config,
+                                artifact.analysis)
+            started = time.perf_counter()
+            result = cache.load("timing", key) if cache else MISS
+            if not isinstance(result, PipelineResult):
+                result = simulate(artifact.trace, machine_config,
+                                  artifact.analysis)
+                if cache:
+                    cache.store("timing", key, result)
+            results.append((key, result,
+                            time.perf_counter() - started))
+        out: Dict[str, object] = {"results": results}
+        if obs_config is not None:
+            out["obs_delta"] = obs_delta.snapshot_delta()
+        return out
+    finally:
+        if obs_config is not None:
+            obs.reset_obs()
 
 
 # ---------------------------------------------------------------------
@@ -708,6 +756,9 @@ class Engine:
         #: in-memory memo for timing results (tiny objects); serves
         #: repeated simulations and prefetched no-cache results
         self._sim_memo: Dict[str, PipelineResult] = {}
+        #: worker pid -> stable small ordinal for telemetry labels
+        #: (``worker="0"``, ``worker="1"``, ... in first-seen order)
+        self._worker_ids: Dict[int, str] = {}
 
     # -- cells --------------------------------------------------------
 
@@ -804,6 +855,32 @@ class Engine:
                 "cells dropped after exhausting retries").inc()
             return None
 
+    def _worker_label(self, pid) -> str:
+        label = self._worker_ids.get(pid)
+        if label is None:
+            label = str(len(self._worker_ids))
+            self._worker_ids[pid] = label
+        return label
+
+    def _absorb_worker_delta(self, payload) -> None:
+        """Merge a pool result's telemetry delta into the parent
+        collector with a ``worker="<n>"`` label (no-op — and no key
+        lookup cost beyond one ``dict.pop`` — when the payload carries
+        none or telemetry is off)."""
+        if not isinstance(payload, dict):
+            return
+        delta = payload.pop("obs_delta", None)
+        if delta is None:
+            return
+        collector = obs.get_collector()
+        if collector is None:
+            return
+        from repro.obs import delta as obs_delta
+
+        obs_delta.merge_delta(collector, delta,
+                              worker=self._worker_label(
+                                  delta.get("pid")))
+
     def _note_retry(self) -> None:
         self.stats.retries += 1
         obs.metrics().counter(
@@ -843,16 +920,18 @@ class Engine:
             self._pool_degraded = True
             return [self._serial_cell(spec, partial) for spec in specs]
         try:
+            obs_config = _worker_obs_config()
             pending = [
                 pool.apply_async(
-                    _compute_cell_payload,
-                    (spec, self.config, None,
-                     faults.draw_cell_faults(pool=True)))
+                    _pool_cell_worker,
+                    (spec, self.config,
+                     faults.draw_cell_faults(pool=True), obs_config))
                 for spec in specs]
             for index, handle in enumerate(pending):
                 try:
                     payloads[index] = handle.get(
                         self.config.cell_timeout)
+                    self._absorb_worker_delta(payloads[index])
                     done[index] = True
                 except Exception:
                     # Worker crash, unpicklable result, or timeout:
@@ -980,8 +1059,9 @@ class Engine:
             grouped[label][1].append(machine_config)
         if not grouped or self._pool_degraded:
             return
+        obs_config = _worker_obs_config()
         todo: List[Tuple[CellSpec, Tuple[MachineConfig, ...],
-                         EngineConfig, Tuple[str, ...]]] = []
+                         EngineConfig, Tuple[str, ...], "object"]] = []
         for label in order:
             cell_spec, machine_configs = grouped[label]
             if self.config.batch_cells:
@@ -991,7 +1071,8 @@ class Engine:
                            for machine_config in machine_configs]
             for batch in batches:
                 todo.append((cell_spec, batch, self.config,
-                             faults.draw_cell_faults(pool=True)))
+                             faults.draw_cell_faults(pool=True),
+                             obs_config))
         workers = min(self.config.jobs, len(todo))
         context = _pool_context()
         with context.Pool(processes=workers) as pool:
@@ -1000,14 +1081,15 @@ class Engine:
             for args, handle in zip(todo, pending):
                 try:
                     # One timeout budget per simulation in the batch.
-                    results = handle.get(
+                    batch_result = handle.get(
                         self.config.cell_timeout * max(len(args[1]), 1))
                 except Exception:
                     # Purely an accelerator: a faulted prefetch cell
                     # just falls back to the serial simulate path.
                     self._note_pool_fault()
                     continue
-                for key, result, _seconds in results:
+                self._absorb_worker_delta(batch_result)
+                for key, result, _seconds in batch_result["results"]:
                     self._sim_memo[key] = result
 
     # -- paths stage --------------------------------------------------

@@ -73,6 +73,9 @@ class RunRecorder:
     #: faults, serial degradation, cache store-error/quarantine
     #: counts, injected faults, and cells dropped in partial mode
     robustness: Optional[Dict[str, object]] = None
+    #: pointer into the persistent run-history log
+    #: (``repro.obs.history``): ``{"path": ..., "checksum": ...}``
+    history: Optional[Dict[str, object]] = None
 
     def record(self, experiment_id: str, wall_s: float,
                stage_delta: Dict[str, Dict[str, object]],
@@ -114,6 +117,8 @@ class RunRecorder:
             document["obs"] = dict(self.obs)
         if self.robustness is not None:
             document["robustness"] = dict(self.robustness)
+        if self.history is not None:
+            document["history"] = dict(self.history)
         return document
 
     def write(self, runs_root: str) -> str:

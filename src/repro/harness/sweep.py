@@ -155,3 +155,8 @@ class SweepExecutor:
         collector.registry.counter(
             "repro_sweep_points_total", "sweep points executed",
             kind=kind).inc()
+        # Point latency as a histogram so a live /metrics scrape
+        # (obs.serve) shows sweep progress and pacing mid-run.
+        collector.registry.histogram(
+            "repro_sweep_point_seconds", "sweep point wall time",
+            kind=kind).observe(seconds)

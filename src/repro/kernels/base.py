@@ -221,6 +221,10 @@ def _record_pass(backend: str, name: str, items: int,
     collector.registry.counter(
         "repro_kernel_pass_total", "kernel pass executions",
         kernel=name, backend=backend).inc()
+    collector.registry.counter(
+        "repro_kernel_pass_items_total",
+        "dynamic items walked by kernel passes",
+        kernel=name, backend=backend).inc(items)
     collector.registry.histogram(
         "repro_kernel_pass_seconds", "kernel pass wall time",
         kernel=name, backend=backend).observe(seconds)

@@ -10,6 +10,15 @@ or the ``REPRO_OBS=1`` environment) owns everything telemetry-related:
 * the pipeline timelines sampled by the simulator and the predictor
   probes recorded by the evaluation walk.
 
+The collector is *cross-process* (ISSUE 8): pool workers run under a
+fresh per-task collector and ship a compact delta back with each
+result, which the parent merges with ``worker="<n>"`` labels
+(:mod:`repro.obs.delta`), so the registry and span tree are complete
+under ``--jobs N``.  Per-run timing summaries persist to a checksummed
+run history with regression gates (:mod:`repro.obs.history`), and the
+merged registry is scrapeable live over HTTP while a run executes
+(:mod:`repro.obs.serve`).
+
 When no collector is configured — the default — every helper in this
 module returns ``None`` or a null object, and the instrumented code
 paths reduce to a single ``is not None`` test: the disabled cost is

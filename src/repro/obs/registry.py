@@ -15,6 +15,8 @@ renders the whole registry in the text exposition format.
 
 from __future__ import annotations
 
+import re
+import threading
 from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -28,6 +30,7 @@ __all__ = [
     "NULL_HISTOGRAM",
     "NULL_REGISTRY",
     "Timer",
+    "lint_exposition",
     "render_prometheus",
 ]
 
@@ -165,12 +168,20 @@ class MetricsRegistry:
 
     ``enabled=False`` turns every accessor into a constant returning
     the null singletons — the zero-allocation disabled path.
+
+    Accessor lookups and :meth:`items` snapshots take a lock, so a
+    live ``/metrics`` endpoint (``repro.obs.serve``) can render the
+    registry from its own thread while the run keeps recording.  Hot
+    loops still pay nothing extra: they look their metric up once and
+    call ``inc()``/``observe()`` on the cached handle, which remains
+    lock-free.
     """
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self._metrics: Dict[_LabelKey, object] = {}
         self._help: Dict[str, str] = {}
+        self._lock = threading.Lock()
 
     # -- accessors ----------------------------------------------------
 
@@ -203,18 +214,29 @@ class MetricsRegistry:
         key = _key(name, labels)
         metric = self._metrics.get(key)
         if metric is None:
-            metric = factory()
-            self._metrics[key] = metric
-            if help:
-                self._help.setdefault(name, help)
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = factory()
+                    self._metrics[key] = metric
+                    if help:
+                        self._help.setdefault(name, help)
         return metric
+
+    def help_for(self, name: str) -> str:
+        """The registered HELP text for *name* ('' when none)."""
+        return self._help.get(name, "")
 
     # -- introspection ------------------------------------------------
 
     def items(self) -> Iterable[Tuple[str, Dict[str, str], object]]:
-        """Yield ``(name, labels, metric)`` sorted by name/labels."""
-        for (name, labels), metric in sorted(
-                self._metrics.items(), key=lambda item: item[0]):
+        """``(name, labels, metric)`` sorted by name/labels, from a
+        locked snapshot of the series table (safe against concurrent
+        accessor calls from other threads)."""
+        with self._lock:
+            entries = sorted(self._metrics.items(),
+                             key=lambda item: item[0])
+        for (name, labels), metric in entries:
             yield name, dict(labels), metric
 
     def snapshot(self) -> Dict[str, object]:
@@ -238,10 +260,17 @@ class MetricsRegistry:
 NULL_REGISTRY = MetricsRegistry(enabled=False)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double quote, and newline."""
+    return (value.replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
 def _labels_text(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join('%s="%s"' % (k, v.replace('"', r"\""))
+    inner = ",".join('%s="%s"' % (k, _escape_label_value(v))
                      for k, v in sorted(labels.items()))
     return "{%s}" % inner
 
@@ -254,32 +283,191 @@ def _merged(labels: Dict[str, str], extra_key: str,
 
 
 def render_prometheus(registry: MetricsRegistry) -> str:
-    """The registry in the Prometheus text exposition format."""
+    """The registry in the Prometheus text exposition format.
+
+    Safe to call from a scrape thread while the run keeps recording:
+    each histogram's bucket row, ``+Inf`` bucket, and ``_count`` are
+    derived from one per-metric snapshot of the bucket array, so the
+    exposition invariants (cumulative buckets, ``+Inf`` == ``_count``)
+    hold even mid-``observe``.
+    """
     lines: List[str] = []
     seen_header = set()
     for name, labels, metric in registry.items():
         if name not in seen_header:
             seen_header.add(name)
-            help_text = registry._help.get(name)
+            help_text = registry.help_for(name)
             if help_text:
                 lines.append("# HELP %s %s" % (name, help_text))
             lines.append("# TYPE %s %s" % (name, metric.kind))
         if isinstance(metric, Histogram):
-            cumulative = metric.cumulative()
-            for bound, count in zip(metric.buckets, cumulative):
+            counts = list(metric.counts)
+            total = metric.total
+            running = 0
+            for bound, count in zip(metric.buckets, counts):
+                running += count
                 lines.append("%s_bucket%s %d" % (
                     name, _labels_text(_merged(labels, "le",
-                                               repr(bound))), count))
+                                               repr(bound))), running))
+            running += counts[-1]
             lines.append("%s_bucket%s %d" % (
                 name, _labels_text(_merged(labels, "le", "+Inf")),
-                metric.count))
+                running))
             lines.append("%s_sum%s %g" % (name, _labels_text(labels),
-                                          metric.total))
+                                          total))
             lines.append("%s_count%s %d" % (name, _labels_text(labels),
-                                            metric.count))
+                                            running))
         else:
             value = metric.value
             text = "%d" % value if isinstance(value, int) else \
                 "%g" % value
             lines.append("%s%s %s" % (name, _labels_text(labels), text))
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------
+# Exposition-format lint
+# ---------------------------------------------------------------------
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)(?: (?P<timestamp>-?\d+))?$")
+_LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\["\\n])*)"')
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _parse_labels(text: str) -> Optional[Dict[str, str]]:
+    """Parse a label block body; None when malformed (unescaped
+    quote/backslash/newline, bad label name, trailing junk)."""
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_RE.match(text, pos)
+        if match is None:
+            return None
+        labels[match.group(1)] = match.group(2)
+        pos = match.end()
+        if pos < len(text):
+            if text[pos] != ",":
+                return None
+            pos += 1
+    return labels
+
+
+def lint_exposition(text: str) -> List[str]:
+    """Check *text* against the Prometheus text exposition format.
+
+    Returns a list of violation strings (empty = clean).  Enforced:
+    ``# HELP``/``# TYPE`` lines precede every sample of their metric
+    and appear at most once; sample lines parse with properly escaped
+    label values; every histogram series has cumulative buckets ending
+    in ``+Inf``, and its ``+Inf`` bucket equals ``_count`` with a
+    ``_sum`` present.  This backs the exposition tests and the CI
+    scrape check (``scripts/obs_scrape_check.py``).
+    """
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    helped: Dict[str, bool] = {}
+    sampled: Dict[str, bool] = {}
+    #: (base name, labels-sans-le) -> {"buckets": [(le, v)...],
+    #: "sum": v, "count": v}
+    series: Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                 Dict[str, object]] = {}
+
+    def base_name(name: str) -> str:
+        metric_type = typed.get(name)
+        if metric_type is None:
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and \
+                        typed.get(name[:-len(suffix)]) in ("histogram",
+                                                           "summary"):
+                    return name[:-len(suffix)]
+        return name
+
+    for number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # plain comment
+            kind, name = parts[1], parts[2]
+            if not _NAME_RE.fullmatch(name):
+                problems.append("line %d: bad metric name %r in %s"
+                                % (number, name, kind))
+                continue
+            seen = helped if kind == "HELP" else typed
+            if name in seen:
+                problems.append("line %d: duplicate # %s for %s"
+                                % (number, kind, name))
+            if sampled.get(name):
+                problems.append("line %d: # %s %s after its samples"
+                                % (number, kind, name))
+            if kind == "TYPE":
+                metric_type = parts[3] if len(parts) > 3 else ""
+                if metric_type not in _TYPES:
+                    problems.append("line %d: unknown type %r for %s"
+                                    % (number, metric_type, name))
+                typed[name] = metric_type
+            else:
+                helped[name] = True
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append("line %d: unparseable sample %r"
+                            % (number, line))
+            continue
+        name = match.group("name")
+        labels_text = match.group("labels")
+        labels = _parse_labels(labels_text) if labels_text else {}
+        if labels is None:
+            problems.append("line %d: malformed label block %r"
+                            % (number, labels_text))
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            if match.group("value") not in ("+Inf", "-Inf", "NaN"):
+                problems.append("line %d: bad sample value %r"
+                                % (number, match.group("value")))
+            value = 0.0
+        base = base_name(name)
+        sampled[base] = True
+        sampled.setdefault(name, True)
+        if typed.get(base) == "histogram":
+            key = (base, tuple(sorted((k, v)
+                                      for k, v in labels.items()
+                                      if k != "le")))
+            bucket = series.setdefault(key, {"buckets": [], "sum": None,
+                                             "count": None})
+            if name == base + "_bucket":
+                if "le" not in labels:
+                    problems.append("line %d: histogram bucket without "
+                                    "le label" % number)
+                else:
+                    bucket["buckets"].append((labels["le"], value))
+            elif name == base + "_sum":
+                bucket["sum"] = value
+            elif name == base + "_count":
+                bucket["count"] = value
+    for (base, labels), info in sorted(series.items()):
+        where = "%s%s" % (base, dict(labels) if labels else "")
+        buckets = info["buckets"]
+        if not buckets or buckets[-1][0] != "+Inf":
+            problems.append("%s: histogram must end with a +Inf bucket"
+                            % where)
+            continue
+        values = [value for _le, value in buckets]
+        if values != sorted(values):
+            problems.append("%s: bucket counts are not cumulative"
+                            % where)
+        if info["count"] is None or info["sum"] is None:
+            problems.append("%s: histogram missing _count or _sum"
+                            % where)
+        elif values[-1] != info["count"]:
+            problems.append("%s: +Inf bucket %g != _count %g"
+                            % (where, values[-1], info["count"]))
+    return problems

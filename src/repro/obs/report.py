@@ -235,6 +235,18 @@ def render_report(run_doc: Dict[str, object],
                      "(re-run with --obs)")
         return "\n".join(lines)
 
+    workers = sorted({str((span.get("attrs") or {}).get("worker"))
+                      for span in obs.get("spans", [])
+                      if (span.get("attrs") or {}).get("worker")
+                      is not None})
+    if workers:
+        lines.append("")
+        lines.append("-- workers --")
+        lines.append("merged telemetry from %d pool worker%s "
+                     "(worker=%s)" % (len(workers),
+                                      "" if len(workers) == 1 else "s",
+                                      ",".join(workers)))
+
     lines.append("")
     lines.append("-- spans (slowest first) --")
     lines.append(render_span_tree(obs.get("spans", [])))

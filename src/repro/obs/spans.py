@@ -21,6 +21,10 @@ from typing import Dict, Iterator, List, Optional
 
 __all__ = ["Span", "SpanTracer"]
 
+#: default for :meth:`SpanTracer.add`'s *parent_id*: "the current
+#: stack top" (``None`` is a meaningful value — a root span).
+_CURRENT = object()
+
 
 class Span:
     """One traced unit of work."""
@@ -76,15 +80,52 @@ class SpanTracer:
             record.seconds = time.perf_counter() - started
             self._stack.pop()
 
-    def add(self, name: str, seconds: float, **attrs) -> Span:
-        """Attach an already-timed span under the current parent."""
+    def add(self, name: str, seconds: float, parent_id=_CURRENT,
+            **attrs) -> Span:
+        """Attach an already-timed span.  By default it lands under
+        the current stack top; an explicit *parent_id* attaches it
+        under any already-recorded span (``None`` makes it a root) —
+        how post-hoc work like pool-worker stages lands in the right
+        subtree even when results arrive out of order."""
         span_id = self._next_id
         self._next_id += 1
-        parent = self._stack[-1] if self._stack else None
-        record = Span(span_id, parent, name,
+        if parent_id is _CURRENT:
+            parent_id = self._stack[-1] if self._stack else None
+        record = Span(span_id, parent_id, name,
                       time.time() - seconds, seconds, dict(attrs))
         self.spans.append(record)
         return record
+
+    def merge(self, span_docs: List[Dict[str, object]],
+              **extra_attrs) -> List[Span]:
+        """Graft another tracer's serialized spans (a worker's
+        ``ObsDelta``) into this tree.
+
+        Every incoming span gets a fresh id; internal parent links are
+        remapped, and spans whose parent is not part of the batch
+        (the worker's roots) attach under the current stack top.  The
+        id map is built before any span is materialized, so children
+        arriving *before* their parent in *span_docs* still resolve to
+        the correct remapped parent.  *extra_attrs* (e.g.
+        ``worker="1"``) are stamped onto every merged span."""
+        base_parent = self._stack[-1] if self._stack else None
+        id_map: Dict[object, int] = {}
+        for doc in span_docs:
+            id_map[doc["span_id"]] = self._next_id
+            self._next_id += 1
+        merged: List[Span] = []
+        for doc in span_docs:
+            attrs = dict(doc.get("attrs") or {})
+            attrs.update(extra_attrs)
+            parent = doc.get("parent_id")
+            parent = id_map.get(parent, base_parent)
+            span = Span(id_map[doc["span_id"]], parent,
+                        str(doc.get("name", "?")),
+                        float(doc.get("started_at", 0.0)),
+                        float(doc.get("seconds", 0.0)), attrs)
+            self.spans.append(span)
+            merged.append(span)
+        return merged
 
     # -- output -------------------------------------------------------
 
