@@ -7,6 +7,10 @@ Examples::
     python -m repro.harness F8 --scale 0.5
     python -m repro.harness F7 F8 --jobs 4   # parallel cells
     python -m repro.harness F1 --no-cache    # force recomputation
+    python -m repro.harness experiments list # registry + descriptions
+    python -m repro.harness table run F5 --reps 3   # stats tables
+    python -m repro.harness table show A4    # factor grid, no execution
+    python -m repro.harness table export F8 --format csv --output f8.csv
     python -m repro.harness runs             # summarize recorded runs
     python -m repro.harness runs --last 1 --json
     python -m repro.harness cache stats      # on-disk cache usage
@@ -41,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import math
 import os
 import sys
 import time
@@ -49,6 +54,39 @@ from typing import List, Optional
 from repro.harness.engine import EngineConfig, config_from_env, configure
 from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.obs.logging import setup_logging
+
+
+def _positive_float(name: str):
+    """An argparse type for strictly positive finite floats whose
+    error message names the offending variable (``scale must be a
+    positive number, got '-1'``)."""
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                "%s must be a number, got %r" % (name, text))
+        if not math.isfinite(value) or value <= 0:
+            raise argparse.ArgumentTypeError(
+                "%s must be a positive number, got %r" % (name, text))
+        return value
+    return parse
+
+
+def _positive_int(name: str):
+    """An argparse type for integers >= 1; the error message names the
+    offending variable (``reps must be a positive integer, got '0'``)."""
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                "%s must be an integer, got %r" % (name, text))
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                "%s must be a positive integer, got %r" % (name, text))
+        return value
+    return parse
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -111,8 +149,10 @@ def _experiments_main(argv: List[str]) -> int:
                         metavar="ID",
                         help="experiment ids (%s); default: all"
                         % ", ".join(ALL_EXPERIMENTS))
-    parser.add_argument("--scale", type=float, default=1.0,
-                        help="workload size multiplier (default 1.0)")
+    parser.add_argument("--scale", type=_positive_float("scale"),
+                        default=1.0,
+                        help="workload size multiplier "
+                             "(default 1.0; must be > 0)")
     parser.add_argument("--json", metavar="PATH",
                         help="also dump every experiment's raw data to "
                              "a JSON file")
@@ -145,7 +185,14 @@ def _experiments_main(argv: List[str]) -> int:
     unknown = [identifier for identifier in ids
                if identifier not in ALL_EXPERIMENTS]
     if unknown:
-        parser.error("unknown experiment ids: %s" % ", ".join(unknown))
+        import difflib
+
+        close = difflib.get_close_matches(unknown[0],
+                                          list(ALL_EXPERIMENTS), n=1)
+        hint = "; did you mean %s?" % close[0] if close else ""
+        parser.error("unknown experiment ids: %s (have: %s)%s"
+                     % (", ".join(unknown), ", ".join(ALL_EXPERIMENTS),
+                        hint))
 
     engine = configure(_engine_config(args))
 
@@ -321,6 +368,235 @@ def _stage_note(stage_delta) -> str:
     return "; cache %d hit%s / %d miss%s" % (
         hits, "" if hits == 1 else "s",
         misses, "" if misses == 1 else "es")
+
+
+def _experiments_registry_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness experiments",
+        description="Inspect the experiment registry ('list' prints "
+                    "every id with its one-line description; ids "
+                    "backed by a declarative run table are marked).")
+    parser.add_argument("action", nargs="?", default="list",
+                        choices=("list",))
+    parser.parse_args(argv)
+
+    from repro.harness.experiments import (EXPERIMENT_DESCRIPTIONS,
+                                           RUN_TABLES)
+
+    for identifier in ALL_EXPERIMENTS:
+        marker = "table" if identifier in RUN_TABLES else "-"
+        print("%-4s %-5s %s" % (identifier, marker,
+                                EXPERIMENT_DESCRIPTIONS.get(identifier,
+                                                            "")))
+    print()
+    print("%d experiments; ids marked 'table' are declarative run "
+          "tables (execute with `repro-harness table run <ID>`)"
+          % len(ALL_EXPERIMENTS))
+    return 0
+
+
+def _table_main(argv: List[str]) -> int:
+    from repro.harness.experiments import RUN_TABLES
+    from repro.harness.runtable import RunTableExecutor, stats_tables
+    from repro.harness.stats import CONFIDENCE_LEVELS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness table",
+        description="Declarative run tables: 'run' executes a table "
+                    "and renders its canonical output (plus mean/CI "
+                    "and factor-effect tables for --reps > 1), 'show' "
+                    "prints the factor grid without executing, "
+                    "'export' writes every measured cell and the "
+                    "stats block as JSON or CSV.")
+    parser.add_argument("action", choices=("run", "show", "export"))
+    parser.add_argument("tables", nargs="*", metavar="ID",
+                        help="run-table ids (%s); default: all"
+                             % ", ".join(RUN_TABLES))
+    parser.add_argument("--scale", type=_positive_float("scale"),
+                        default=1.0,
+                        help="workload size multiplier "
+                             "(default 1.0; must be > 0)")
+    parser.add_argument("--reps", type=_positive_int("reps"),
+                        default=1, metavar="N",
+                        help="seed repetitions per cell (default 1; "
+                             "N > 1 re-seeds gen:... workloads per "
+                             "repetition and appends statistics "
+                             "tables)")
+    parser.add_argument("--confidence", type=float, default=0.95,
+                        metavar="C",
+                        help="CI confidence level (%s; default 0.95)"
+                             % ", ".join("%g" % level
+                                         for level in CONFIDENCE_LEVELS))
+    parser.add_argument("--format", choices=("json", "csv"),
+                        default="json",
+                        help="export: output format (default json; "
+                             "csv covers exactly one table)")
+    parser.add_argument("--output", metavar="PATH",
+                        help="export: write to PATH instead of stdout")
+    parser.add_argument("--json", metavar="PATH",
+                        help="run: also dump cells + stats documents "
+                             "to a JSON file")
+    parser.add_argument("--csv", metavar="PATH",
+                        help="run: also dump one table's cells to a "
+                             "CSV file (exactly one ID)")
+    parser.add_argument("--no-meta", action="store_true",
+                        help="do not record run metadata under "
+                             "<cache-dir>/runs/")
+    parser.add_argument("--obs", action="store_true",
+                        help="collect telemetry (runtable:<id> spans, "
+                             "cell metrics) under "
+                             "<cache-dir>/runs/obs-<id>/; also "
+                             "enabled by REPRO_OBS=1")
+    _add_engine_arguments(parser)
+    args = parser.parse_args(argv)
+
+    ids = [identifier.upper() for identifier in args.tables] \
+        or list(RUN_TABLES)
+    unknown = [identifier for identifier in ids
+               if identifier not in RUN_TABLES]
+    if unknown:
+        parser.error("unknown run-table ids: %s (have: %s)"
+                     % (", ".join(unknown), ", ".join(RUN_TABLES)))
+    if args.confidence not in CONFIDENCE_LEVELS:
+        parser.error("confidence must be one of %s, got %g"
+                     % (", ".join("%g" % level
+                                  for level in CONFIDENCE_LEVELS),
+                        args.confidence))
+    csv_requested = args.csv or (args.action == "export"
+                                 and args.format == "csv")
+    if csv_requested and len(ids) != 1:
+        parser.error("csv output covers one table's cells; select "
+                     "exactly one run-table id (got %d)" % len(ids))
+
+    if args.action == "show":
+        for index, identifier in enumerate(ids):
+            if index:
+                print()
+            _print_table_spec(RUN_TABLES[identifier])
+        return 0
+
+    engine = configure(_engine_config(args))
+
+    from repro import obs as obslib
+    from repro.harness.cachedir import CacheDir
+    from repro.harness.runmeta import RunRecorder
+
+    obs_config = obslib.obs_config_from_env()
+    if args.obs and obs_config is None:
+        obs_config = obslib.ObsConfig()
+    collector = obslib.configure_obs(obs_config)
+
+    recorder = RunRecorder(argv=["table"] + list(argv),
+                           engine_info=engine.describe())
+    runs_root = CacheDir(args.cache_dir).runs_root
+    obs_dir = os.path.join(runs_root, "obs-%s" % recorder.run_id)
+    # Exporting to stdout keeps it machine-readable; bookkeeping
+    # notices go to stderr there.
+    quiet = args.action == "export" and not args.output
+
+    def notice(message: str) -> None:
+        print(message, file=sys.stderr if quiet else sys.stdout)
+
+    documents = {}
+    csv_text = ""
+    with contextlib.ExitStack() as run_stack:
+        if collector is not None:
+            run_stack.enter_context(collector.tracer.span(
+                "run", run_id=recorder.run_id, scale=args.scale))
+        for identifier in ids:
+            table = RUN_TABLES[identifier]
+            snapshot = engine.stats.snapshot()
+            started = time.time()
+            with contextlib.ExitStack() as stack:
+                if collector is not None:
+                    stack.enter_context(collector.tracer.span(
+                        "experiment", id=identifier))
+                result = RunTableExecutor(
+                    table, scale=args.scale, repetitions=args.reps,
+                    engine=engine).run()
+            experiment = table.summarize(result)
+            if args.reps > 1:
+                experiment.tables.extend(
+                    stats_tables(result, args.confidence))
+            wall = time.time() - started
+            stage_delta, instructions = \
+                engine.stats.delta_since(snapshot)
+            recorder.record(identifier, wall, stage_delta,
+                            instructions)
+            recorder.record_table(identifier, cells=table.n_cells(),
+                                  repetitions=args.reps,
+                                  seconds=result.seconds)
+            if args.action == "run":
+                print(experiment.render())
+                print("[%s: %d cells x %d repetition%s in %.1fs%s]" % (
+                    identifier, table.n_cells(), args.reps,
+                    "" if args.reps == 1 else "s", wall,
+                    _stage_note(stage_delta)))
+                print()
+            documents[identifier] = result.to_dict(args.confidence)
+            if csv_requested:
+                csv_text = result.to_csv()
+
+    import json
+
+    bundle = {"scale": args.scale, "repetitions": args.reps,
+              "tables": documents}
+    if args.action == "export":
+        text = csv_text if args.format == "csv" else \
+            json.dumps(bundle, indent=2, sort_keys=True) + "\n"
+        if args.output:
+            with open(args.output, "w") as stream:
+                stream.write(text)
+            print("wrote %s" % args.output)
+        else:
+            sys.stdout.write(text)
+    else:
+        if args.json:
+            with open(args.json, "w") as stream:
+                json.dump(bundle, stream, indent=2, sort_keys=True)
+                stream.write("\n")
+            print("wrote %s" % args.json)
+        if args.csv:
+            with open(args.csv, "w") as stream:
+                stream.write(csv_text)
+            print("wrote %s" % args.csv)
+
+    if collector is not None:
+        try:
+            artifacts = collector.write(obs_dir)
+        except OSError as error:
+            print("could not store observability artifacts: %s"
+                  % error, file=sys.stderr)
+        else:
+            recorder.obs = {
+                "dir": os.path.abspath(obs_dir),
+                "spans": collector.tracer.summary(),
+                "artifacts": sorted(artifacts),
+            }
+            notice("stored observability artifacts: %s (render with "
+                   "`repro-harness obs report %s`)"
+                   % (obs_dir, recorder.run_id))
+    recorder.robustness = engine.robustness()
+    if not args.no_meta:
+        try:
+            path = recorder.write(runs_root)
+        except OSError as error:
+            print("could not record run metadata: %s" % error,
+                  file=sys.stderr)
+        else:
+            notice("recorded run metadata: %s" % path)
+    return 0
+
+
+def _print_table_spec(table) -> None:
+    print("%s: %s" % (table.id, table.title))
+    if table.description:
+        print("  %s" % table.description)
+    for factor in table.factors:
+        print("  factor  %-12s %s" % (factor.name,
+                                      ", ".join(factor.labels())))
+    print("  metrics %s" % ", ".join(table.metrics))
+    print("  cells   %d per repetition" % table.n_cells())
 
 
 def _runs_main(argv: List[str]) -> int:
@@ -602,6 +878,10 @@ def _obs_serve_main(args, runs_root: str) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     setup_logging()
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "table":
+        return _table_main(argv[1:])
+    if argv and argv[0] == "experiments":
+        return _experiments_registry_main(argv[1:])
     if argv and argv[0] == "runs":
         return _runs_main(argv[1:])
     if argv and argv[0] == "cache":

@@ -10,22 +10,38 @@ come from :func:`~repro.harness.runs.suite_runs` (cached compile /
 trace / analysis stages) and every timing simulation and future-path
 precomputation runs through the engine's cached stages, so a hot-cache
 rerun of any experiment reuses all of its expensive work while
-producing bit-identical tables.  Sweeps (predictor geometries, machine
-variants) go through :class:`~repro.harness.sweep.SweepExecutor`: one
-decoded trace, one per-PC prediction event stream, and one future-path
-view per trace are shared across all sweep points, and the timing
-cross-product is prefetched in parallel before the serial result loops
-read it back in deterministic order.
+producing bit-identical tables.
+
+The sweep-shaped experiments (F5-F8, A1-A4, A6, E1, E2, T1) are
+*defined as* declarative :class:`~repro.harness.runtable.RunTable`
+specs: each declares its factor grid (workload × predictor geometry ×
+machine variant × compiler aggressiveness), a per-cell ``measure``
+hook, and a ``summarize`` hook that folds the measured grid back into
+the canonical table byte-identically to the old hand-written loops.
+Running one of them with ``repetitions > 1`` (``repro table run``)
+re-measures the grid under shifted seeds and appends mean/CI and
+factor-effect tables (:mod:`repro.harness.stats`).  Measurement flows
+through the same engine/sweep primitives as before, so the stage
+cache, artifact plane, ``--jobs`` prefetch pool, and fault supervision
+all apply unchanged.
 """
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.analysis import classify_statics, locality_stats
 from repro.harness.runs import suite_runs
-from repro.harness.sweep import SweepExecutor, elim_variant
+from repro.harness.runtable import (
+    Factor,
+    RunTable,
+    RunTableContext,
+    RunTableResult,
+    run_table_experiment,
+)
+from repro.harness.sweep import elim_variant
 from repro.harness.tables import Table, percent, signed_percent
 from repro.pipeline import (
     MachineConfig,
@@ -42,6 +58,7 @@ from repro.predictors import (
     evaluate_predictor,
 )
 from repro.predictors.dead.table import SignatureDeadPredictor
+from repro.workloads import workload_names
 
 
 @dataclass
@@ -178,24 +195,66 @@ def f4_locality(scale: float = 1.0) -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------
+# Run-table helpers (shared by the declarative experiments below)
+# ---------------------------------------------------------------------
+
+#: raw DeadPredictionStats counters carried per predictor cell; the
+#: summarize hooks sum these ints across workloads, so the aggregate
+#: accuracy/coverage (derived properties) are byte-identical to the
+#: old shared-stats evaluation loops
+_PREDICTOR_COUNTERS = ("eligible", "dead", "predicted_dead",
+                       "true_positives", "false_positives")
+
+
+def _workload_factor() -> Factor:
+    return Factor("workload", workload_names())
+
+
+def _predictor_cell(ctx: RunTableContext, run, predictor,
+                    path_bits: int) -> Dict[str, object]:
+    """Evaluate one predictor on one workload: per-cell accuracy and
+    coverage (the stats metrics) plus the raw counters."""
+    stats = DeadPredictionStats()
+    paths = ctx.paths_for(run, path_bits)
+    evaluate_predictor(run.analysis, predictor, paths, stats,
+                       stream=ctx.stream_for(run))
+    metrics: Dict[str, object] = {
+        "accuracy": stats.accuracy, "coverage": stats.coverage}
+    for counter in _PREDICTOR_COUNTERS:
+        metrics[counter] = getattr(stats, counter)
+    return metrics
+
+
+def _summed_stats(cells) -> DeadPredictionStats:
+    """Suite-aggregate stats from per-workload counter cells."""
+    total = DeadPredictionStats()
+    for cell in cells:
+        for counter in _PREDICTOR_COUNTERS:
+            setattr(total, counter,
+                    getattr(total, counter) + cell[counter])
+    return total
+
+
+# ---------------------------------------------------------------------
 # Prediction (F5, F6)
 # ---------------------------------------------------------------------
 
+_F5_ENTRIES = (256, 512, 1024, 2048, 4096, 8192)
 
-def f5_predictor_sweep(scale: float = 1.0) -> ExperimentResult:
-    """F5: accuracy and coverage versus predictor state budget.
 
-    Paper claim: 93% accuracy while identifying over 91% of dead
-    instructions in under 5 KB of state.
-    """
+def _f5_measure(ctx: RunTableContext, point) -> Dict[str, object]:
+    entries = point["entries"].payload
+    run = ctx.run_for(point["workload"].payload)
+    return _predictor_cell(ctx, run, PathDeadPredictor(entries=entries),
+                           path_bits=3)
+
+
+def _f5_summarize(result: RunTableResult) -> ExperimentResult:
     table = Table("Path predictor: accuracy/coverage vs state",
                   ["entries", "state (KB)", "accuracy", "coverage"])
-    sweep = SweepExecutor(suite_runs(scale))
     data: Dict[int, object] = {}
-    for entries in (256, 512, 1024, 2048, 4096, 8192):
-        stats = sweep.predictor_stats(
-            lambda run: PathDeadPredictor(entries=entries),
-            path_bits=3, label="F5:entries=%d" % entries)
+    for entries in _F5_ENTRIES:
+        stats = _summed_stats(result.cells_at(entries=str(entries)))
         state_kb = PathDeadPredictor(entries=entries).storage_kb()
         data[entries] = (state_kb, stats.accuracy, stats.coverage)
         table.add_row(entries, "%.2f" % state_kb,
@@ -205,37 +264,56 @@ def f5_predictor_sweep(scale: float = 1.0) -> ExperimentResult:
         tables=[table], data=data)
 
 
-def f6_predictor_compare(scale: float = 1.0) -> ExperimentResult:
-    """F6: future control flow is what makes the predictor work.
+F5_TABLE = RunTable(
+    id="F5", title="predictor accuracy/coverage vs state budget",
+    description="path predictor accuracy/coverage across state budgets"
+                " (paper claim: 93% accuracy, >91% coverage, <5 KB)",
+    factors=[Factor("entries", _F5_ENTRIES), _workload_factor()],
+    metrics=["accuracy", "coverage"],
+    measure=_f5_measure, summarize=_f5_summarize)
 
-    Compares the PC-only bimodal baseline, the single-signature design,
-    the paper's path-indexed predictor, and the oracle.
+
+def f5_predictor_sweep(scale: float = 1.0) -> ExperimentResult:
+    """F5: accuracy and coverage versus predictor state budget.
+
+    Paper claim: 93% accuracy while identifying over 91% of dead
+    instructions in under 5 KB of state.
     """
-    sweep = SweepExecutor(suite_runs(scale))
-    designs = [
-        ("profile (ideal static)",
-         lambda run: ProfileDeadPredictor(run.analysis), 0.0),
-        ("bimodal (PC only)",
-         lambda run: BimodalDeadPredictor(),
-         BimodalDeadPredictor().storage_kb()),
-        ("past-history indexed",
-         lambda run: HistoryDeadPredictor(),
-         HistoryDeadPredictor().storage_kb()),
-        ("signature (1 path/PC)",
-         lambda run: SignatureDeadPredictor(),
-         SignatureDeadPredictor().storage_kb()),
-        ("path-indexed (paper)",
-         lambda run: PathDeadPredictor(),
-         PathDeadPredictor().storage_kb()),
-        ("oracle",
-         lambda run: OracleDeadPredictor(run.analysis.dead), 0.0),
-    ]
+    return run_table_experiment(F5_TABLE, scale)
+
+
+_F6_DESIGNS = [
+    ("profile (ideal static)",
+     (lambda run: ProfileDeadPredictor(run.analysis), 0.0)),
+    ("bimodal (PC only)",
+     (lambda run: BimodalDeadPredictor(),
+      BimodalDeadPredictor().storage_kb())),
+    ("past-history indexed",
+     (lambda run: HistoryDeadPredictor(),
+      HistoryDeadPredictor().storage_kb())),
+    ("signature (1 path/PC)",
+     (lambda run: SignatureDeadPredictor(),
+      SignatureDeadPredictor().storage_kb())),
+    ("path-indexed (paper)",
+     (lambda run: PathDeadPredictor(),
+      PathDeadPredictor().storage_kb())),
+    ("oracle",
+     (lambda run: OracleDeadPredictor(run.analysis.dead), 0.0)),
+]
+
+
+def _f6_measure(ctx: RunTableContext, point) -> Dict[str, object]:
+    factory, _state_kb = point["design"].payload
+    run = ctx.run_for(point["workload"].payload)
+    return _predictor_cell(ctx, run, factory(run), path_bits=3)
+
+
+def _f6_summarize(result: RunTableResult) -> ExperimentResult:
     table = Table("Predictor design comparison (suite aggregate)",
                   ["design", "state (KB)", "accuracy", "coverage"])
     data: Dict[str, object] = {}
-    for name, factory, state_kb in designs:
-        stats = sweep.predictor_stats(factory, path_bits=3,
-                                      label="F6:%s" % name)
+    for name, (_factory, state_kb) in _F6_DESIGNS:
+        stats = _summed_stats(result.cells_at(design=name))
         data[name] = (stats.accuracy, stats.coverage)
         table.add_row(name, "%.2f" % state_kb,
                       percent(stats.accuracy), percent(stats.coverage))
@@ -244,9 +322,89 @@ def f6_predictor_compare(scale: float = 1.0) -> ExperimentResult:
         tables=[table], data=data)
 
 
+F6_TABLE = RunTable(
+    id="F6", title="predictor design comparison",
+    description="bimodal/history/signature/path/oracle designs,"
+                " suite-aggregate accuracy and coverage",
+    factors=[Factor("design", _F6_DESIGNS), _workload_factor()],
+    metrics=["accuracy", "coverage"],
+    measure=_f6_measure, summarize=_f6_summarize)
+
+
+def f6_predictor_compare(scale: float = 1.0) -> ExperimentResult:
+    """F6: future control flow is what makes the predictor work.
+
+    Compares the PC-only bimodal baseline, the single-signature design,
+    the paper's path-indexed predictor, and the oracle.
+    """
+    return run_table_experiment(F6_TABLE, scale)
+
+
 # ---------------------------------------------------------------------
 # Elimination (F7, F8)
 # ---------------------------------------------------------------------
+
+_F7_REDUCTIONS = ("preg_alloc_reduction", "preg_free_reduction",
+                  "rf_read_reduction", "rf_write_reduction",
+                  "dcache_access_reduction", "dcache_miss_reduction")
+
+
+def _f7_measure(ctx: RunTableContext, point) -> Dict[str, object]:
+    run = ctx.run_for(point["workload"].payload)
+    base, elim = ctx.pair(run, default_config())
+    sb, se = base.stats, elim.stats
+    reductions = (
+        1 - se.preg_allocs / max(sb.preg_allocs, 1),
+        1 - se.preg_frees / max(sb.preg_frees, 1),
+        1 - se.rf_reads / max(sb.rf_reads, 1),
+        1 - se.rf_writes / max(sb.rf_writes, 1),
+        1 - se.dcache_accesses / max(sb.dcache_accesses, 1),
+        # A small workload can miss zero times in the baseline;
+        # report no reduction rather than a vacuous 100%.
+        1 - se.dcache_misses / sb.dcache_misses
+        if sb.dcache_misses else 0.0,
+    )
+    metrics: Dict[str, object] = dict(zip(_F7_REDUCTIONS, reductions))
+    metrics["eliminated"] = se.eliminated / max(sb.committed, 1)
+    return metrics
+
+
+def _f7_prefetch(ctx: RunTableContext) -> None:
+    ctx.prefetch_pairs(ctx.suite(), default_config())
+
+
+def _f7_summarize(result: RunTableResult) -> ExperimentResult:
+    table = Table("Resource reductions, default machine (base -> elim)",
+                  ["benchmark", "preg allocs", "preg frees", "RF reads",
+                   "RF writes", "D$ accesses", "D$ misses",
+                   "eliminated%"])
+    sums = [0.0] * 6
+    data: Dict[str, object] = {}
+    names = workload_names()
+    for name in names:
+        cell = result.cell(workload=name)
+        reductions = tuple(cell[key] for key in _F7_REDUCTIONS)
+        for index, value in enumerate(reductions):
+            sums[index] += value
+        data[name] = reductions
+        table.add_row(name, *[percent(r) for r in reductions],
+                      percent(cell["eliminated"]))
+    averages = [total / len(names) for total in sums]
+    table.add_row("average", *[percent(a) for a in averages], "")
+    data["averages"] = averages
+    return ExperimentResult(
+        id="F7", title="resource utilization reductions",
+        tables=[table], data=data)
+
+
+F7_TABLE = RunTable(
+    id="F7", title="resource utilization reductions",
+    description="per-resource utilization reductions from elimination"
+                " on the default machine",
+    factors=[_workload_factor()],
+    metrics=list(_F7_REDUCTIONS) + ["eliminated"],
+    measure=_f7_measure, summarize=_f7_summarize,
+    prefetch=_f7_prefetch)
 
 
 def f7_resources(scale: float = 1.0) -> ExperimentResult:
@@ -256,72 +414,48 @@ def f7_resources(scale: float = 1.0) -> ExperimentResult:
     10% in physical-register management, register-file read and write
     traffic, and data-cache accesses.
     """
-    table = Table("Resource reductions, default machine (base -> elim)",
-                  ["benchmark", "preg allocs", "preg frees", "RF reads",
-                   "RF writes", "D$ accesses", "D$ misses",
-                   "eliminated%"])
-    sums = [0.0] * 6
-    data: Dict[str, object] = {}
-    runs = suite_runs(scale)
-    sweep = SweepExecutor(runs)
-    sweep.prefetch_pairs(default_config())
-    for run in runs:
-        base, elim = sweep.pair(run, default_config())
-        sb, se = base.stats, elim.stats
-        reductions = (
-            1 - se.preg_allocs / max(sb.preg_allocs, 1),
-            1 - se.preg_frees / max(sb.preg_frees, 1),
-            1 - se.rf_reads / max(sb.rf_reads, 1),
-            1 - se.rf_writes / max(sb.rf_writes, 1),
-            1 - se.dcache_accesses / max(sb.dcache_accesses, 1),
-            # A small workload can miss zero times in the baseline;
-            # report no reduction rather than a vacuous 100%.
-            1 - se.dcache_misses / sb.dcache_misses
-            if sb.dcache_misses else 0.0,
-        )
-        for index, value in enumerate(reductions):
-            sums[index] += value
-        eliminated = se.eliminated / max(sb.committed, 1)
-        data[run.workload.name] = reductions
-        table.add_row(run.workload.name, *[percent(r) for r in reductions],
-                      percent(eliminated))
-    averages = [total / len(runs) for total in sums]
-    table.add_row("average", *[percent(a) for a in averages], "")
-    data["averages"] = averages
-    return ExperimentResult(
-        id="F7", title="resource utilization reductions",
-        tables=[table], data=data)
+    return run_table_experiment(F7_TABLE, scale)
 
 
-def f8_speedup(scale: float = 1.0) -> ExperimentResult:
-    """F8: speedup on a resource-contended machine.
+_F8_MACHINES = [("contended", contended_config()),
+                ("default", default_config())]
 
-    Paper claim: performance improves by an average of 3.6% on an
-    architecture exhibiting resource contention (and little on a
-    generously provisioned one).
-    """
+
+def _f8_measure(ctx: RunTableContext, point) -> Dict[str, object]:
+    run = ctx.run_for(point["workload"].payload)
+    config = point["machine"].payload
+    base, elim = ctx.pair(run, config)
+    return {"base_ipc": base.stats.ipc, "elim_ipc": elim.stats.ipc,
+            "speedup": elim.stats.ipc / base.stats.ipc - 1,
+            "recoveries": elim.stats.recoveries}
+
+
+def _f8_prefetch(ctx: RunTableContext) -> None:
+    ctx.prefetch_pairs(ctx.suite(), contended_config(),
+                       default_config())
+
+
+def _f8_summarize(result: RunTableResult) -> ExperimentResult:
     table = Table("Speedup from elimination",
                   ["benchmark", "contended base IPC", "contended speedup",
                    "default speedup", "recoveries"])
     data: Dict[str, object] = {"contended": {}, "default": {}}
     geo_contended = geo_default = 1.0
-    runs = suite_runs(scale)
-    sweep = SweepExecutor(runs)
-    sweep.prefetch_pairs(contended_config(), default_config())
-    for run in runs:
-        base_c, elim_c = sweep.pair(run, contended_config())
-        base_d, elim_d = sweep.pair(run, default_config())
-        speedup_c = elim_c.stats.ipc / base_c.stats.ipc - 1
-        speedup_d = elim_d.stats.ipc / base_d.stats.ipc - 1
+    names = workload_names()
+    for name in names:
+        contended = result.cell(workload=name, machine="contended")
+        default = result.cell(workload=name, machine="default")
+        speedup_c = contended["speedup"]
+        speedup_d = default["speedup"]
         geo_contended *= 1 + speedup_c
         geo_default *= 1 + speedup_d
-        data["contended"][run.workload.name] = speedup_c
-        data["default"][run.workload.name] = speedup_d
-        table.add_row(run.workload.name, "%.3f" % base_c.stats.ipc,
+        data["contended"][name] = speedup_c
+        data["default"][name] = speedup_d
+        table.add_row(name, "%.3f" % contended["base_ipc"],
                       signed_percent(speedup_c),
                       signed_percent(speedup_d),
-                      elim_c.stats.recoveries)
-    n = len(runs)
+                      contended["recoveries"])
+    n = len(names)
     mean_contended = geo_contended ** (1.0 / n) - 1
     mean_default = geo_default ** (1.0 / n) - 1
     table.add_row("geomean", "", signed_percent(mean_contended),
@@ -333,54 +467,105 @@ def f8_speedup(scale: float = 1.0) -> ExperimentResult:
         tables=[table], data=data)
 
 
-def t1_machine_config(scale: float = 1.0) -> ExperimentResult:
-    """T1: the simulated machine configurations."""
+F8_TABLE = RunTable(
+    id="F8", title="speedup under resource contention",
+    description="elimination speedup on contended vs default machines"
+                " (paper claim: ~3.6% average under contention)",
+    factors=[_workload_factor(), Factor("machine", _F8_MACHINES)],
+    metrics=["base_ipc", "elim_ipc", "speedup", "recoveries"],
+    measure=_f8_measure, summarize=_f8_summarize,
+    prefetch=_f8_prefetch)
+
+
+def f8_speedup(scale: float = 1.0) -> ExperimentResult:
+    """F8: speedup on a resource-contended machine.
+
+    Paper claim: performance improves by an average of 3.6% on an
+    architecture exhibiting resource contention (and little on a
+    generously provisioned one).
+    """
+    return run_table_experiment(F8_TABLE, scale)
+
+
+_T1_ROWS: List[Tuple[str, Callable[[MachineConfig], str]]] = [
+    ("pipeline width (fetch/rename/issue/commit)",
+     lambda c: "%d/%d/%d/%d" % (c.fetch_width, c.rename_width,
+                                c.issue_width, c.commit_width)),
+    ("ROB / IQ / LSQ", lambda c: "%d / %d / %d" %
+     (c.rob_size, c.iq_size, c.lsq_size)),
+    ("physical registers", lambda c: str(c.phys_regs)),
+    ("ALU / MUL / DIV / branch units", lambda c: "%d/%d/%d/%d" %
+     (c.alu_units, c.mul_units, c.div_units, c.branch_units)),
+    ("memory ports / RF read ports", lambda c: "%d / %d" %
+     (c.mem_ports, c.rf_read_ports)),
+    ("branch predictor", lambda c: "gshare %d entries, %d-bit hist" %
+     (c.gshare_entries, c.gshare_history)),
+    ("L1D", lambda c: "%d sets x %d ways x %dB, %d cycles" %
+     (c.l1d_sets, c.l1d_ways, c.l1d_line, c.l1d_latency)),
+    ("L2 / memory latency", lambda c: "%d / %d cycles" %
+     (c.l2_latency, c.memory_latency)),
+    ("dead predictor", lambda c: "%d entries, %d path bits" %
+     (c.dead_predictor.entries, c.dead_predictor.path_bits)),
+]
+
+_T1_MACHINES = [("default", default_config()),
+                ("contended", contended_config())]
+
+
+def _t1_measure(ctx: RunTableContext, point) -> Dict[str, object]:
+    config = point["machine"].payload
+    return {"phys_regs": config.phys_regs, "rob_size": config.rob_size,
+            "iq_size": config.iq_size, "lsq_size": config.lsq_size,
+            "mem_ports": config.mem_ports}
+
+
+def _t1_summarize(result: RunTableResult) -> ExperimentResult:
     table = Table("Simulated machine configurations",
                   ["parameter", "default", "contended"])
-    default = default_config()
-    contended = contended_config()
-    rows = [
-        ("pipeline width (fetch/rename/issue/commit)",
-         lambda c: "%d/%d/%d/%d" % (c.fetch_width, c.rename_width,
-                                    c.issue_width, c.commit_width)),
-        ("ROB / IQ / LSQ", lambda c: "%d / %d / %d" %
-         (c.rob_size, c.iq_size, c.lsq_size)),
-        ("physical registers", lambda c: str(c.phys_regs)),
-        ("ALU / MUL / DIV / branch units", lambda c: "%d/%d/%d/%d" %
-         (c.alu_units, c.mul_units, c.div_units, c.branch_units)),
-        ("memory ports / RF read ports", lambda c: "%d / %d" %
-         (c.mem_ports, c.rf_read_ports)),
-        ("branch predictor", lambda c: "gshare %d entries, %d-bit hist" %
-         (c.gshare_entries, c.gshare_history)),
-        ("L1D", lambda c: "%d sets x %d ways x %dB, %d cycles" %
-         (c.l1d_sets, c.l1d_ways, c.l1d_line, c.l1d_latency)),
-        ("L2 / memory latency", lambda c: "%d / %d cycles" %
-         (c.l2_latency, c.memory_latency)),
-        ("dead predictor", lambda c: "%d entries, %d path bits" %
-         (c.dead_predictor.entries, c.dead_predictor.path_bits)),
-    ]
-    for label, getter in rows:
-        table.add_row(label, getter(default), getter(contended))
+    configs = {label: config for label, config in _T1_MACHINES}
+    for label, getter in _T1_ROWS:
+        table.add_row(label, getter(configs["default"]),
+                      getter(configs["contended"]))
     return ExperimentResult(id="T1", title="machine configuration",
                             tables=[table], data={})
+
+
+T1_TABLE = RunTable(
+    id="T1", title="machine configuration",
+    description="the simulated machine configurations (default and"
+                " contended geometries)",
+    factors=[Factor("machine", _T1_MACHINES)],
+    metrics=["phys_regs", "rob_size", "iq_size", "lsq_size",
+             "mem_ports"],
+    measure=_t1_measure, summarize=_t1_summarize)
+
+
+def t1_machine_config(scale: float = 1.0) -> ExperimentResult:
+    """T1: the simulated machine configurations."""
+    return run_table_experiment(T1_TABLE, scale)
 
 
 # ---------------------------------------------------------------------
 # Ablations (A1-A3)
 # ---------------------------------------------------------------------
 
+_A1_PATH_BITS = (0, 1, 2, 3, 4, 5, 6)
 
-def a1_path_length(scale: float = 1.0) -> ExperimentResult:
-    """A1: how much future control flow does the predictor need?"""
+
+def _a1_measure(ctx: RunTableContext, point) -> Dict[str, object]:
+    path_bits = point["path_bits"].payload
+    run = ctx.run_for(point["workload"].payload)
+    return _predictor_cell(ctx, run,
+                           PathDeadPredictor(path_bits=path_bits),
+                           path_bits=max(path_bits, 1))
+
+
+def _a1_summarize(result: RunTableResult) -> ExperimentResult:
     table = Table("Path length ablation (path predictor, 2048 entries)",
                   ["path bits", "accuracy", "coverage"])
-    sweep = SweepExecutor(suite_runs(scale))
     data: Dict[int, object] = {}
-    for path_bits in (0, 1, 2, 3, 4, 5, 6):
-        stats = sweep.predictor_stats(
-            lambda run, pb=path_bits: PathDeadPredictor(path_bits=pb),
-            path_bits=max(path_bits, 1),
-            label="A1:path_bits=%d" % path_bits)
+    for path_bits in _A1_PATH_BITS:
+        stats = _summed_stats(result.cells_at(path_bits=str(path_bits)))
         data[path_bits] = (stats.accuracy, stats.coverage)
         table.add_row(path_bits, percent(stats.accuracy),
                       percent(stats.coverage))
@@ -388,19 +573,39 @@ def a1_path_length(scale: float = 1.0) -> ExperimentResult:
                             tables=[table], data=data)
 
 
-def a2_confidence(scale: float = 1.0) -> ExperimentResult:
-    """A2: confidence threshold trades coverage for accuracy."""
+A1_TABLE = RunTable(
+    id="A1", title="future path length ablation",
+    description="how much future control flow the path predictor"
+                " needs (0-6 path bits)",
+    factors=[Factor("path_bits", _A1_PATH_BITS), _workload_factor()],
+    metrics=["accuracy", "coverage"],
+    measure=_a1_measure, summarize=_a1_summarize)
+
+
+def a1_path_length(scale: float = 1.0) -> ExperimentResult:
+    """A1: how much future control flow does the predictor need?"""
+    return run_table_experiment(A1_TABLE, scale)
+
+
+_A2_POINTS = ((1, 1), (2, 1), (2, 2), (2, 3), (3, 5), (3, 7))
+
+
+def _a2_measure(ctx: RunTableContext, point) -> Dict[str, object]:
+    conf_bits, threshold = point["confidence"].payload
+    run = ctx.run_for(point["workload"].payload)
+    return _predictor_cell(
+        ctx, run,
+        PathDeadPredictor(conf_bits=conf_bits, threshold=threshold),
+        path_bits=3)
+
+
+def _a2_summarize(result: RunTableResult) -> ExperimentResult:
     table = Table("Confidence threshold ablation (path predictor)",
                   ["conf bits", "threshold", "accuracy", "coverage"])
-    sweep = SweepExecutor(suite_runs(scale))
     data: Dict[object, object] = {}
-    for conf_bits, threshold in ((1, 1), (2, 1), (2, 2), (2, 3),
-                                 (3, 5), (3, 7)):
-        stats = sweep.predictor_stats(
-            lambda run, cb=conf_bits, th=threshold: PathDeadPredictor(
-                conf_bits=cb, threshold=th),
-            path_bits=3,
-            label="A2:conf=%d,thresh=%d" % (conf_bits, threshold))
+    for conf_bits, threshold in _A2_POINTS:
+        label = "%d/%d" % (conf_bits, threshold)
+        stats = _summed_stats(result.cells_at(confidence=label))
         data[(conf_bits, threshold)] = (stats.accuracy, stats.coverage)
         table.add_row(conf_bits, threshold, percent(stats.accuracy),
                       percent(stats.coverage))
@@ -408,37 +613,156 @@ def a2_confidence(scale: float = 1.0) -> ExperimentResult:
                             tables=[table], data=data)
 
 
-def a3_recovery(scale: float = 1.0) -> ExperimentResult:
-    """A3: recovery mechanism sensitivity (replay vs flush)."""
+A2_TABLE = RunTable(
+    id="A2", title="confidence threshold ablation",
+    description="confidence counter geometry: coverage traded for"
+                " accuracy",
+    factors=[Factor("confidence",
+                    [("%d/%d" % point, point) for point in _A2_POINTS]),
+             _workload_factor()],
+    metrics=["accuracy", "coverage"],
+    measure=_a2_measure, summarize=_a2_summarize)
+
+
+def a2_confidence(scale: float = 1.0) -> ExperimentResult:
+    """A2: confidence threshold trades coverage for accuracy."""
+    return run_table_experiment(A2_TABLE, scale)
+
+
+_A3_VARIANTS = [
+    ("replay (default)", {}),
+    ("flush, 12-cycle penalty", {"recovery_mode": "flush"}),
+    ("flush, 24-cycle penalty", {"recovery_mode": "flush",
+                                 "recovery_penalty": 24}),
+]
+
+
+def _a3_measure(ctx: RunTableContext, point) -> Dict[str, object]:
+    overrides = point["recovery"].payload
+    run = ctx.run_for(point["workload"].payload)
+    base, elim = ctx.pair(run, contended_config(), overrides)
+    return {"speedup": elim.stats.ipc / base.stats.ipc - 1}
+
+
+def _a3_prefetch(ctx: RunTableContext) -> None:
+    ctx.prefetch(ctx.suite(), contended_config(),
+                 *[elim_variant(contended_config(), overrides)
+                   for _label, overrides in _A3_VARIANTS])
+
+
+def _a3_summarize(result: RunTableResult) -> ExperimentResult:
     table = Table("Recovery ablation: contended-machine geomean speedup",
                   ["recovery", "geomean speedup", "worst benchmark"])
-    runs = suite_runs(scale)
-    sweep = SweepExecutor(runs)
     data: Dict[str, object] = {}
-    variants = [
-        ("replay (default)", {}),
-        ("flush, 12-cycle penalty", {"recovery_mode": "flush"}),
-        ("flush, 24-cycle penalty", {"recovery_mode": "flush",
-                                     "recovery_penalty": 24}),
-    ]
-    sweep.prefetch(contended_config(),
-                   *[elim_variant(contended_config(), overrides)
-                     for _label, overrides in variants])
-    for label, overrides in variants:
+    names = workload_names()
+    for label, _overrides in _A3_VARIANTS:
         geo = 1.0
         worst_name, worst = "", 1.0
-        for run in runs:
-            base, elim = sweep.pair(run, contended_config(), overrides)
-            speedup = elim.stats.ipc / base.stats.ipc - 1
+        for name in names:
+            speedup = result.cell(recovery=label,
+                                  workload=name)["speedup"]
             geo *= 1 + speedup
             if speedup < worst:
-                worst, worst_name = speedup, run.workload.name
-        mean = geo ** (1.0 / len(runs)) - 1
+                worst, worst_name = speedup, name
+        mean = geo ** (1.0 / len(names)) - 1
         data[label] = mean
         table.add_row(label, signed_percent(mean),
                       "%s (%s)" % (worst_name, signed_percent(worst)))
     return ExperimentResult(id="A3", title="recovery cost sensitivity",
                             tables=[table], data=data)
+
+
+A3_TABLE = RunTable(
+    id="A3", title="recovery cost sensitivity",
+    description="recovery mechanism sensitivity: replay vs flush with"
+                " 12/24-cycle penalties",
+    factors=[Factor("recovery", _A3_VARIANTS), _workload_factor()],
+    metrics=["speedup"],
+    measure=_a3_measure, summarize=_a3_summarize,
+    prefetch=_a3_prefetch)
+
+
+def a3_recovery(scale: float = 1.0) -> ExperimentResult:
+    """A3: recovery mechanism sensitivity (replay vs flush)."""
+    return run_table_experiment(A3_TABLE, scale)
+
+
+_A4_HOISTS = (0, 2, 4, 8)
+
+
+def _a4_options(hoist: int) -> Dict[str, int]:
+    return {"opt_level": 2 if hoist else 0,
+            "max_hoist": max(hoist, 1)}
+
+
+def _a4_measure(ctx: RunTableContext, point) -> Dict[str, object]:
+    hoist = point["max_hoist"].payload
+    name = point["workload"].payload
+    config = contended_config()
+    run = ctx.run_for(name, **_a4_options(hoist))
+    # The normalization baseline: the unscheduled (-O0, default
+    # hoisting limits) machine without elimination.
+    reference = ctx.run_for(name, opt_level=0)
+    base, elim = ctx.pair(run, config)
+    ref = ctx.simulate(reference, config)
+    return {"base_cycles": base.stats.cycles,
+            "elim_cycles": elim.stats.cycles,
+            "ref_cycles": ref.stats.cycles,
+            "n_dead": run.analysis.n_dead,
+            "n_dynamic": run.analysis.n_dynamic,
+            "base_ratio": base.stats.cycles / ref.stats.cycles,
+            "elim_ratio": elim.stats.cycles / ref.stats.cycles}
+
+
+def _a4_prefetch(ctx: RunTableContext) -> None:
+    config = contended_config()
+    ctx.prefetch(ctx.suite(opt_level=0), config)
+    for hoist in _A4_HOISTS:
+        ctx.prefetch_pairs(ctx.suite(**_a4_options(hoist)), config)
+
+
+def _a4_summarize(result: RunTableResult) -> ExperimentResult:
+    table = Table("Scheduling aggressiveness vs elimination "
+                  "(contended machine, cycles normalized to -O0 base)",
+                  ["max hoist", "dead%", "cycles (base)",
+                   "cycles (elim)", "elim recovers"])
+    data: Dict[int, object] = {}
+    names = workload_names()
+    for hoist in _A4_HOISTS:
+        geo_base = geo_elim = 1.0
+        dead_total = dyn_total = 0
+        for name in names:
+            cell = result.cell(max_hoist=str(hoist), workload=name)
+            norm = cell["ref_cycles"]
+            geo_base *= cell["base_cycles"] / norm
+            geo_elim *= cell["elim_cycles"] / norm
+            dead_total += cell["n_dead"]
+            dyn_total += cell["n_dynamic"]
+        n = len(names)
+        base_ratio = geo_base ** (1.0 / n)
+        elim_ratio = geo_elim ** (1.0 / n)
+        if base_ratio > 1.0:
+            recovered = (base_ratio - elim_ratio) / (base_ratio - 1.0)
+            recovered_text = percent(recovered)
+        else:
+            recovered_text = "--"
+        data[hoist] = (dead_total / dyn_total, base_ratio, elim_ratio)
+        table.add_row(hoist, percent(dead_total / dyn_total),
+                      "%.3fx" % base_ratio, "%.3fx" % elim_ratio,
+                      recovered_text)
+    return ExperimentResult(
+        id="A4", title="scheduling aggressiveness vs elimination",
+        tables=[table], data=data)
+
+
+A4_TABLE = RunTable(
+    id="A4", title="scheduling aggressiveness vs elimination",
+    description="scheduler aggressiveness (hoist limit) vs contended"
+                " cycles, with and without elimination",
+    factors=[Factor("max_hoist", _A4_HOISTS), _workload_factor()],
+    metrics=["base_ratio", "elim_ratio"],
+    measure=_a4_measure, summarize=_a4_summarize,
+    prefetch=_a4_prefetch)
 
 
 def a4_scheduling(scale: float = 1.0) -> ExperimentResult:
@@ -454,49 +778,7 @@ def a4_scheduling(scale: float = 1.0) -> ExperimentResult:
     consume contended resources); with elimination most of that cost
     comes back.
     """
-    table = Table("Scheduling aggressiveness vs elimination "
-                  "(contended machine, cycles normalized to -O0 base)",
-                  ["max hoist", "dead%", "cycles (base)",
-                   "cycles (elim)", "elim recovers"])
-    config = contended_config()
-    data: Dict[int, object] = {}
-    reference: Dict[str, int] = {}
-    reference_sweep = SweepExecutor(suite_runs(scale, opt_level=0))
-    reference_sweep.prefetch(config)
-    for run in reference_sweep.runs:
-        result = reference_sweep.simulate(run, config)
-        reference[run.workload.name] = result.stats.cycles
-    for max_hoist in (0, 2, 4, 8):
-        opt_level = 2 if max_hoist else 0
-        sweep = SweepExecutor(suite_runs(scale, opt_level=opt_level,
-                                         max_hoist=max(max_hoist, 1)))
-        runs = sweep.runs
-        sweep.prefetch_pairs(config)
-        geo_base = geo_elim = 1.0
-        dead_total = dyn_total = 0
-        for run in runs:
-            base, elim = sweep.pair(run, config)
-            norm = reference[run.workload.name]
-            geo_base *= base.stats.cycles / norm
-            geo_elim *= elim.stats.cycles / norm
-            dead_total += run.analysis.n_dead
-            dyn_total += run.analysis.n_dynamic
-        n = len(runs)
-        base_ratio = geo_base ** (1.0 / n)
-        elim_ratio = geo_elim ** (1.0 / n)
-        if base_ratio > 1.0:
-            recovered = (base_ratio - elim_ratio) / (base_ratio - 1.0)
-            recovered_text = percent(recovered)
-        else:
-            recovered_text = "--"
-        data[max_hoist] = (dead_total / dyn_total, base_ratio,
-                           elim_ratio)
-        table.add_row(max_hoist, percent(dead_total / dyn_total),
-                      "%.3fx" % base_ratio, "%.3fx" % elim_ratio,
-                      recovered_text)
-    return ExperimentResult(
-        id="A4", title="scheduling aggressiveness vs elimination",
-        tables=[table], data=data)
+    return run_table_experiment(A4_TABLE, scale)
 
 
 def a5_static_dce(scale: float = 1.0) -> ExperimentResult:
@@ -577,6 +859,89 @@ def f9_kill_distance(scale: float = 1.0) -> ExperimentResult:
         tables=[table], data=data)
 
 
+_A6_WINDOW = 2000
+_A6_BUCKETS = ("steady (pre-flush)", "0-2k after", "2k-4k after",
+               "4k-8k after", "8k+ after")
+#: metric-safe keys per bucket, in bucket order
+_A6_KEYS = ("steady", "b0_2k", "b2k_4k", "b4k_8k", "b8k")
+
+
+def _a6_measure(ctx: RunTableContext, point) -> Dict[str, object]:
+    run = ctx.run_for(point["workload"].payload)
+    paths = ctx.paths_for(run, 3)
+    stream = ctx.stream_for(run)
+    predictor = PathDeadPredictor()
+    midpoint = len(run.trace) // 2
+    flushed = False
+    window = _A6_WINDOW
+    buckets = _A6_BUCKETS
+    totals = {bucket: [0, 0] for bucket in buckets}  # [hits, dead]
+    # Predictor state only changes on eligible events, so flushing
+    # at the first eligible instance past the midpoint is identical
+    # to flushing exactly at the midpoint.
+    for i, pc, is_dead in zip(stream.eligible_index,
+                              stream.eligible_pc,
+                              stream.eligible_dead):
+        if not flushed and i >= midpoint:
+            predictor = PathDeadPredictor()  # context switch
+            flushed = True
+        prediction = predictor.predict(pc, paths.predicted[i], i)
+        if is_dead:
+            offset = i - midpoint
+            if offset < 0:
+                # Only count warmed-up pre-flush instructions.
+                bucket = (buckets[0] if i > 4 * window else None)
+            elif offset < window:
+                bucket = buckets[1]
+            elif offset < 2 * window:
+                bucket = buckets[2]
+            elif offset < 4 * window:
+                bucket = buckets[3]
+            else:
+                bucket = buckets[4]
+            if bucket is not None:
+                totals[bucket][1] += 1
+                if prediction:
+                    totals[bucket][0] += 1
+        predictor.train(pc, is_dead, paths.actual[i], i)
+    metrics: Dict[str, object] = {}
+    for key, bucket in zip(_A6_KEYS, buckets):
+        hits, dead = totals[bucket]
+        metrics["%s_hits" % key] = hits
+        metrics["%s_dead" % key] = dead
+    hits, dead = totals[buckets[1]]
+    metrics["post_flush_coverage"] = hits / dead if dead else 0.0
+    return metrics
+
+
+def _a6_summarize(result: RunTableResult) -> ExperimentResult:
+    table = Table("Coverage around a mid-trace predictor flush",
+                  ["phase", "coverage"])
+    data: Dict[str, float] = {}
+    names = workload_names()
+    for key, bucket in zip(_A6_KEYS, _A6_BUCKETS):
+        hits = dead = 0
+        for name in names:
+            cell = result.cell(workload=name)
+            hits += cell["%s_hits" % key]
+            dead += cell["%s_dead" % key]
+        coverage = hits / dead if dead else 0.0
+        data[bucket] = coverage
+        table.add_row(bucket, percent(coverage))
+    return ExperimentResult(
+        id="A6", title="predictor warm-up after a cold start",
+        tables=[table], data=data)
+
+
+A6_TABLE = RunTable(
+    id="A6", title="predictor warm-up after a cold start",
+    description="coverage in windows after a mid-trace predictor"
+                " flush (context-switch cost)",
+    factors=[_workload_factor()],
+    metrics=["post_flush_coverage"],
+    measure=_a6_measure, summarize=_a6_summarize)
+
+
 def a6_warmup(scale: float = 1.0) -> ExperimentResult:
     """A6: predictor warm-up after a cold start (context switch).
 
@@ -587,58 +952,58 @@ def a6_warmup(scale: float = 1.0) -> ExperimentResult:
     the predictor re-warms within a few thousand instructions — state
     loss on a context switch costs almost nothing.
     """
-    window = 2000
-    buckets = ("steady (pre-flush)", "0-2k after", "2k-4k after",
-               "4k-8k after", "8k+ after")
-    table = Table("Coverage around a mid-trace predictor flush",
-                  ["phase", "coverage"])
-    totals = {bucket: [0, 0] for bucket in buckets}  # [hits, dead]
+    return run_table_experiment(A6_TABLE, scale)
 
-    sweep = SweepExecutor(suite_runs(scale))
-    for run in sweep.runs:
-        paths = sweep.paths_for(run, 3)
-        stream = sweep.stream_for(run)
-        predictor = PathDeadPredictor()
-        midpoint = len(run.trace) // 2
-        flushed = False
-        # Predictor state only changes on eligible events, so flushing
-        # at the first eligible instance past the midpoint is identical
-        # to flushing exactly at the midpoint.
-        for i, pc, is_dead in zip(stream.eligible_index,
-                                  stream.eligible_pc,
-                                  stream.eligible_dead):
-            if not flushed and i >= midpoint:
-                predictor = PathDeadPredictor()  # context switch
-                flushed = True
-            prediction = predictor.predict(pc, paths.predicted[i], i)
-            if is_dead:
-                offset = i - midpoint
-                if offset < 0:
-                    # Only count warmed-up pre-flush instructions.
-                    bucket = (buckets[0] if i > 4 * window else None)
-                elif offset < window:
-                    bucket = buckets[1]
-                elif offset < 2 * window:
-                    bucket = buckets[2]
-                elif offset < 4 * window:
-                    bucket = buckets[3]
-                else:
-                    bucket = buckets[4]
-                if bucket is not None:
-                    totals[bucket][1] += 1
-                    if prediction:
-                        totals[bucket][0] += 1
-            predictor.train(pc, is_dead, paths.actual[i], i)
 
+def _e1_measure(ctx: RunTableContext, point) -> Dict[str, object]:
+    from repro.pipeline import energy_of, energy_reduction
+
+    run = ctx.run_for(point["workload"].payload)
+    base, elim = ctx.pair(run, default_config())
+    report = energy_of(base)
+    biggest = max(report.by_component, key=report.by_component.get)
+    return {"energy_reduction": energy_reduction(base, elim),
+            "eliminated": (elim.stats.eliminated
+                           / max(base.stats.committed, 1)),
+            "biggest_component": biggest}
+
+
+def _e1_prefetch(ctx: RunTableContext) -> None:
+    ctx.prefetch_pairs(ctx.suite(), default_config())
+
+
+def _e1_summarize(result: RunTableResult) -> ExperimentResult:
+    table = Table("Activity-energy reduction from elimination "
+                  "(default machine)",
+                  ["benchmark", "energy reduction", "eliminated%",
+                   "biggest component"])
     data: Dict[str, float] = {}
-    for bucket in buckets:
-        hits, dead = totals[bucket]
-        coverage = hits / dead if dead else 0.0
-        data[bucket] = coverage
-        table.add_row(bucket, percent(coverage))
+    total = 0.0
+    names = workload_names()
+    for name in names:
+        cell = result.cell(workload=name)
+        reduction = cell["energy_reduction"]
+        data[name] = reduction
+        total += reduction
+        table.add_row(name, percent(reduction),
+                      percent(cell["eliminated"]),
+                      cell["biggest_component"])
+    average = total / len(names)
+    data["average"] = average
+    table.add_row("average", percent(average), "", "")
     return ExperimentResult(
-        id="A6", title="predictor warm-up after a cold start",
+        id="E1", title="activity-energy reduction",
         tables=[table], data=data)
+
+
+E1_TABLE = RunTable(
+    id="E1", title="activity-energy reduction",
+    description="activity-energy proxy reduction from elimination on"
+                " the default machine",
+    factors=[_workload_factor()],
+    metrics=["energy_reduction", "eliminated"],
+    measure=_e1_measure, summarize=_e1_summarize,
+    prefetch=_e1_prefetch)
 
 
 def e1_energy(scale: float = 1.0) -> ExperimentResult:
@@ -648,35 +1013,58 @@ def e1_energy(scale: float = 1.0) -> ExperimentResult:
     extension quantifies it with the activity-energy proxy of
     `repro.pipeline.energy` (ratios only; see that module's docstring).
     """
-    from repro.pipeline import energy_of, energy_reduction
+    return run_table_experiment(E1_TABLE, scale)
 
-    table = Table("Activity-energy reduction from elimination "
-                  "(default machine)",
-                  ["benchmark", "energy reduction", "eliminated%",
-                   "biggest component"])
-    data: Dict[str, float] = {}
-    total = 0.0
-    runs = suite_runs(scale)
-    sweep = SweepExecutor(runs)
-    sweep.prefetch_pairs(default_config())
-    for run in runs:
-        base, elim = sweep.pair(run, default_config())
-        reduction = energy_reduction(base, elim)
-        data[run.workload.name] = reduction
-        total += reduction
-        report = energy_of(base)
-        biggest = max(report.by_component,
-                      key=report.by_component.get)
-        table.add_row(run.workload.name, percent(reduction),
-                      percent(elim.stats.eliminated
-                              / max(base.stats.committed, 1)),
-                      biggest)
-    average = total / len(runs)
-    data["average"] = average
-    table.add_row("average", percent(average), "", "")
+
+_E2_REGS = (44, 48, 56, 72, 104, 160)
+
+
+def _e2_measure(ctx: RunTableContext, point) -> Dict[str, object]:
+    phys_regs = point["phys_regs"].payload
+    run = ctx.run_for(point["workload"].payload)
+    base, elim = ctx.pair(run, contended_config(phys_regs=phys_regs))
+    return {"base_ipc": base.stats.ipc, "elim_ipc": elim.stats.ipc,
+            "speedup": elim.stats.ipc / base.stats.ipc - 1}
+
+
+def _e2_prefetch(ctx: RunTableContext) -> None:
+    ctx.prefetch_pairs(ctx.suite(),
+                       *[contended_config(phys_regs=regs)
+                         for regs in _E2_REGS])
+
+
+def _e2_summarize(result: RunTableResult) -> ExperimentResult:
+    table = Table("Geomean speedup vs physical-register headroom "
+                  "(contended machine)",
+                  ["phys regs (spare)", "base geomean IPC",
+                   "elim speedup"])
+    data: Dict[int, object] = {}
+    names = workload_names()
+    for phys_regs in _E2_REGS:
+        geo_base = geo_speedup = 1.0
+        for name in names:
+            cell = result.cell(phys_regs=str(phys_regs), workload=name)
+            geo_base *= cell["base_ipc"]
+            geo_speedup *= cell["elim_ipc"] / cell["base_ipc"]
+        n = len(names)
+        base_ipc = geo_base ** (1.0 / n)
+        speedup = geo_speedup ** (1.0 / n) - 1
+        data[phys_regs] = (base_ipc, speedup)
+        table.add_row("%d (%d)" % (phys_regs, phys_regs - 32),
+                      "%.3f" % base_ipc, signed_percent(speedup))
     return ExperimentResult(
-        id="E1", title="activity-energy reduction",
+        id="E2", title="speedup vs renaming headroom",
         tables=[table], data=data)
+
+
+E2_TABLE = RunTable(
+    id="E2", title="speedup vs renaming headroom",
+    description="elimination speedup vs physical-register headroom on"
+                " the contended machine",
+    factors=[Factor("phys_regs", _E2_REGS), _workload_factor()],
+    metrics=["base_ipc", "elim_ipc", "speedup"],
+    measure=_e2_measure, summarize=_e2_summarize,
+    prefetch=_e2_prefetch)
 
 
 def e2_register_scaling(scale: float = 1.0) -> ExperimentResult:
@@ -689,32 +1077,50 @@ def e2_register_scaling(scale: float = 1.0) -> ExperimentResult:
     until the machine is so starved that the baseline crawls for other
     reasons too.
     """
-    table = Table("Geomean speedup vs physical-register headroom "
-                  "(contended machine)",
-                  ["phys regs (spare)", "base geomean IPC",
-                   "elim speedup"])
-    runs = suite_runs(scale)
-    executor = SweepExecutor(runs)
-    data: Dict[int, object] = {}
-    sweep = (44, 48, 56, 72, 104, 160)
-    executor.prefetch_pairs(*[contended_config(phys_regs=regs)
-                              for regs in sweep])
-    for phys_regs in sweep:
-        geo_base = geo_speedup = 1.0
-        for run in runs:
-            base, elim = executor.pair(
-                run, contended_config(phys_regs=phys_regs))
-            geo_base *= base.stats.ipc
-            geo_speedup *= elim.stats.ipc / base.stats.ipc
-        n = len(runs)
-        base_ipc = geo_base ** (1.0 / n)
-        speedup = geo_speedup ** (1.0 / n) - 1
-        data[phys_regs] = (base_ipc, speedup)
-        table.add_row("%d (%d)" % (phys_regs, phys_regs - 32),
-                      "%.3f" % base_ipc, signed_percent(speedup))
+    return run_table_experiment(E2_TABLE, scale)
+
+
+# ---------------------------------------------------------------------
+# The generated-corpus grid (run tables over gen:... workloads)
+# ---------------------------------------------------------------------
+
+_G1_WORKLOADS = ("gen:s1", "gen:s2")
+_G1_MACHINES = [("contended", contended_config()),
+                ("default", default_config())]
+
+
+def _g1_measure(ctx: RunTableContext, point) -> Dict[str, object]:
+    run = ctx.run_for(point["workload"].payload)
+    config = point["machine"].payload
+    base, elim = ctx.pair(run, config)
+    return {"dead_fraction": run.analysis.dead_fraction,
+            "base_ipc": base.stats.ipc,
+            "speedup": elim.stats.ipc / base.stats.ipc - 1,
+            "resolved_workload": run.workload.name}
+
+
+def _g1_summarize(result: RunTableResult) -> ExperimentResult:
+    table = Table("Generated-corpus elimination grid",
+                  ["workload", "machine", "dead%", "base IPC",
+                   "speedup"])
+    for cell in result.cells_at():
+        table.add_row(cell.labels["workload"], cell.labels["machine"],
+                      percent(cell["dead_fraction"]),
+                      "%.3f" % cell["base_ipc"],
+                      signed_percent(cell["speedup"]))
     return ExperimentResult(
-        id="E2", title="speedup vs renaming headroom",
-        tables=[table], data=data)
+        id="G1", title="generated-corpus elimination grid",
+        tables=[table], data={})
+
+
+G1_TABLE = RunTable(
+    id="G1", title="generated-corpus elimination grid",
+    description="seeded generated workloads x machine geometry;"
+                " repetitions draw fresh programs per seed",
+    factors=[Factor("workload", _G1_WORKLOADS),
+             Factor("machine", _G1_MACHINES)],
+    metrics=["dead_fraction", "base_ipc", "speedup"],
+    measure=_g1_measure, summarize=_g1_summarize)
 
 
 ALL_EXPERIMENTS: Dict[str, Callable[[float], ExperimentResult]] = {
@@ -738,12 +1144,33 @@ ALL_EXPERIMENTS: Dict[str, Callable[[float], ExperimentResult]] = {
     "E2": e2_register_scaling,
 }
 
+#: every experiment defined as a declarative run table, by id (the
+#: ``repro table`` CLI namespace; G1 is table-only — a generated-corpus
+#: grid with no fixed canonical output)
+RUN_TABLES: Dict[str, RunTable] = {
+    table.id: table
+    for table in (F5_TABLE, F6_TABLE, F7_TABLE, F8_TABLE, T1_TABLE,
+                  A1_TABLE, A2_TABLE, A3_TABLE, A4_TABLE, A6_TABLE,
+                  E1_TABLE, E2_TABLE, G1_TABLE)
+}
+
+#: one-line descriptions for ``repro experiments list``
+EXPERIMENT_DESCRIPTIONS: Dict[str, str] = {
+    experiment_id: (function.__doc__ or "").strip().splitlines()[0]
+    for experiment_id, function in ALL_EXPERIMENTS.items()
+}
+
 
 def run_experiment(experiment_id: str,
                    scale: float = 1.0) -> ExperimentResult:
-    """Run one experiment by id (F1..F8, T1, A1..A3)."""
+    """Run one experiment by id (F1..F9, T1, A1..A6, E1, E2)."""
     experiment_id = experiment_id.upper()
     if experiment_id not in ALL_EXPERIMENTS:
-        raise KeyError("unknown experiment %r (have: %s)" %
-                       (experiment_id, ", ".join(ALL_EXPERIMENTS)))
+        message = "unknown experiment %r (have: %s)" % (
+            experiment_id, ", ".join(ALL_EXPERIMENTS))
+        close = difflib.get_close_matches(experiment_id,
+                                          list(ALL_EXPERIMENTS), n=1)
+        if close:
+            message += "; did you mean %r?" % close[0]
+        raise KeyError(message)
     return ALL_EXPERIMENTS[experiment_id](scale)

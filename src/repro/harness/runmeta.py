@@ -65,6 +65,10 @@ class RunRecorder:
     started_at: str = field(
         default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S"))
     experiments: List[Dict[str, object]] = field(default_factory=list)
+    #: declarative run-table executions (``repro-harness table run``):
+    #: one record per table with its cell count, repetitions, and
+    #: measurement wall time
+    tables: List[Dict[str, object]] = field(default_factory=list)
     #: observability summary for runs executed with telemetry on:
     #: ``{"dir": ..., "spans": {name: {count, seconds}},
     #: "artifacts": [...]}`` — see ``repro.obs`` and the ``obs`` CLI
@@ -85,6 +89,15 @@ class RunRecorder:
             "wall_s": round(wall_s, 3),
             "instructions": instructions,
             "stages": stage_delta,
+        })
+
+    def record_table(self, table_id: str, cells: int,
+                     repetitions: int, seconds: float) -> None:
+        self.tables.append({
+            "id": table_id,
+            "cells": cells,
+            "repetitions": repetitions,
+            "seconds": round(seconds, 3),
         })
 
     def document(self) -> Dict[str, object]:
@@ -113,6 +126,8 @@ class RunRecorder:
                 "stages": totals_stages,
             },
         }
+        if self.tables:
+            document["run_tables"] = list(self.tables)
         if self.obs:
             document["obs"] = dict(self.obs)
         if self.robustness is not None:

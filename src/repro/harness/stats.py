@@ -1,0 +1,257 @@
+"""Statistics for run-table results: intervals and factor effects.
+
+The run-table layer (:mod:`repro.harness.runtable`) measures every
+cell of a factor grid, possibly repeated under several seeds; this
+module turns those per-cell metric samples into the three statistical
+views the muBench-style analysis pipeline produces:
+
+* **summaries** — sample mean, sample standard deviation, and a
+  Student-t confidence interval per metric (:func:`summarize`);
+* **main effects** — for each factor, the per-level mean and its
+  deviation from the grand mean (:func:`effects`);
+* **pairwise effect sizes** — Cohen's d (pooled standard deviation)
+  between every pair of levels of a factor (:func:`pairwise`).
+
+Everything is pure stdlib and written to degrade gracefully at the
+edges a deterministic simulator actually produces: a single sample
+(``n == 1``) yields a zero-width interval, a zero-variance population
+yields zero-width intervals and an undefined (``None``) effect size,
+and empty inputs raise ``ValueError`` rather than dividing by zero.
+The t critical values are the standard two-sided tables for 90%, 95%,
+and 99% confidence; between tabulated degrees of freedom the value for
+the nearest *smaller* df is used (wider interval — the conservative
+choice).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Effect",
+    "PairEffect",
+    "Summary",
+    "cohens_d",
+    "effects",
+    "mean",
+    "pairwise",
+    "sample_stdev",
+    "summarize",
+    "t_critical",
+]
+
+
+# Two-sided Student-t critical values by confidence level and degrees
+# of freedom.  df keys are ascending; lookups use the largest
+# tabulated df <= the actual df (t shrinks with df, so rounding df
+# down widens the interval slightly rather than narrowing it).
+_T_TABLE: Dict[float, Tuple[Tuple[int, float], ...]] = {
+    0.90: ((1, 6.314), (2, 2.920), (3, 2.353), (4, 2.132), (5, 2.015),
+           (6, 1.943), (7, 1.895), (8, 1.860), (9, 1.833), (10, 1.812),
+           (11, 1.796), (12, 1.782), (13, 1.771), (14, 1.761),
+           (15, 1.753), (16, 1.746), (17, 1.740), (18, 1.734),
+           (19, 1.729), (20, 1.725), (21, 1.721), (22, 1.717),
+           (23, 1.714), (24, 1.711), (25, 1.708), (26, 1.706),
+           (27, 1.703), (28, 1.701), (29, 1.699), (30, 1.697),
+           (40, 1.684), (60, 1.671), (120, 1.658)),
+    0.95: ((1, 12.706), (2, 4.303), (3, 3.182), (4, 2.776), (5, 2.571),
+           (6, 2.447), (7, 2.365), (8, 2.306), (9, 2.262), (10, 2.228),
+           (11, 2.201), (12, 2.179), (13, 2.160), (14, 2.145),
+           (15, 2.131), (16, 2.120), (17, 2.110), (18, 2.101),
+           (19, 2.093), (20, 2.086), (21, 2.080), (22, 2.074),
+           (23, 2.069), (24, 2.064), (25, 2.060), (26, 2.056),
+           (27, 2.052), (28, 2.048), (29, 2.045), (30, 2.042),
+           (40, 2.021), (60, 2.000), (120, 1.980)),
+    0.99: ((1, 63.657), (2, 9.925), (3, 5.841), (4, 4.604), (5, 4.032),
+           (6, 3.707), (7, 3.499), (8, 3.355), (9, 3.250), (10, 3.169),
+           (11, 3.106), (12, 3.055), (13, 3.012), (14, 2.977),
+           (15, 2.947), (16, 2.921), (17, 2.898), (18, 2.878),
+           (19, 2.861), (20, 2.845), (21, 2.831), (22, 2.819),
+           (23, 2.807), (24, 2.797), (25, 2.787), (26, 2.779),
+           (27, 2.771), (28, 2.763), (29, 2.756), (30, 2.750),
+           (40, 2.704), (60, 2.660), (120, 2.617)),
+}
+
+#: Large-df (normal) critical values per confidence level.
+_Z_VALUES = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+CONFIDENCE_LEVELS = tuple(sorted(_Z_VALUES))
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty sequence."""
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return math.fsum(values) / len(values)
+
+
+def sample_stdev(values: Sequence[float]) -> float:
+    """Sample (n-1) standard deviation; 0.0 for fewer than 2 values."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    center = mean(values)
+    variance = math.fsum((value - center) ** 2
+                         for value in values) / (n - 1)
+    # fsum of squares cannot go negative, but guard the sqrt anyway.
+    return math.sqrt(max(variance, 0.0))
+
+
+def t_critical(df: int, confidence: float = 0.95) -> float:
+    """Two-sided Student-t critical value for *df* degrees of freedom.
+
+    *confidence* must be one of :data:`CONFIDENCE_LEVELS`.
+    """
+    table = _T_TABLE.get(confidence)
+    if table is None:
+        raise ValueError(
+            "confidence must be one of %s, got %r" %
+            (", ".join("%.2f" % c for c in CONFIDENCE_LEVELS),
+             confidence))
+    if df < 1:
+        raise ValueError("degrees of freedom must be >= 1, got %d" % df)
+    chosen = None
+    for tab_df, value in table:
+        if tab_df <= df:
+            chosen = value
+        else:
+            break
+    if df > table[-1][0]:
+        return _Z_VALUES[confidence]
+    assert chosen is not None  # df >= 1 always matches the first row
+    return chosen
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Sample summary with a Student-t confidence interval."""
+
+    n: int
+    mean: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+    minimum: float
+    maximum: float
+    confidence: float = 0.95
+
+    @property
+    def half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"n": self.n, "mean": self.mean, "stdev": self.stdev,
+                "ci_low": self.ci_low, "ci_high": self.ci_high,
+                "min": self.minimum, "max": self.maximum,
+                "confidence": self.confidence}
+
+
+def summarize(values: Sequence[float],
+              confidence: float = 0.95) -> Summary:
+    """Mean, stdev, and t-interval for one metric's samples.
+
+    With ``n == 1`` (or zero variance) the interval degenerates to a
+    zero-width interval at the mean — no division by zero, no NaN.
+    """
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    center = mean(values)
+    spread = sample_stdev(values)
+    n = len(values)
+    if n < 2 or spread == 0.0:
+        half = 0.0
+    else:
+        half = t_critical(n - 1, confidence) * spread / math.sqrt(n)
+    return Summary(n=n, mean=center, stdev=spread,
+                   ci_low=center - half, ci_high=center + half,
+                   minimum=min(values), maximum=max(values),
+                   confidence=confidence)
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One factor level's main effect on a metric."""
+
+    level: str
+    n: int
+    mean: float
+    #: deviation of the level mean from the grand mean
+    effect: float
+
+
+def effects(groups: Mapping[str, Sequence[float]]) -> List[Effect]:
+    """Per-level main effects: level mean minus the pooled grand mean.
+
+    *groups* maps level label -> that level's metric samples (all
+    cells sharing the level, across every other factor and every
+    repetition).  Levels appear in mapping order; empty groups are
+    skipped.
+    """
+    pooled: List[float] = []
+    for values in groups.values():
+        pooled.extend(values)
+    if not pooled:
+        raise ValueError("no samples in any level")
+    grand = mean(pooled)
+    out: List[Effect] = []
+    for level, values in groups.items():
+        if not values:
+            continue
+        center = mean(values)
+        out.append(Effect(level=level, n=len(values), mean=center,
+                          effect=center - grand))
+    return out
+
+
+def cohens_d(a: Sequence[float],
+             b: Sequence[float]) -> Optional[float]:
+    """Cohen's d between two samples (pooled standard deviation).
+
+    ``None`` when the pooled deviation is zero (identical constants —
+    an effect size is undefined, not infinite) or either sample is
+    empty.
+    """
+    if not a or not b:
+        return None
+    sd_a, sd_b = sample_stdev(a), sample_stdev(b)
+    weight = (len(a) - 1) + (len(b) - 1)
+    if weight <= 0:
+        pooled = 0.0
+    else:
+        pooled = math.sqrt(((len(a) - 1) * sd_a ** 2 +
+                            (len(b) - 1) * sd_b ** 2) / weight)
+    if pooled == 0.0:
+        return None
+    return (mean(a) - mean(b)) / pooled
+
+
+@dataclass(frozen=True)
+class PairEffect:
+    """Effect size between two levels of one factor."""
+
+    level_a: str
+    level_b: str
+    mean_a: float
+    mean_b: float
+    difference: float
+    #: Cohen's d; ``None`` when undefined (zero pooled variance)
+    d: Optional[float]
+
+
+def pairwise(groups: Mapping[str, Sequence[float]]) -> List[PairEffect]:
+    """Pairwise mean differences and Cohen's d across factor levels,
+    in mapping order (a before b)."""
+    labels = [label for label, values in groups.items() if values]
+    out: List[PairEffect] = []
+    for i, label_a in enumerate(labels):
+        for label_b in labels[i + 1:]:
+            a, b = groups[label_a], groups[label_b]
+            mean_a, mean_b = mean(a), mean(b)
+            out.append(PairEffect(
+                level_a=label_a, level_b=label_b,
+                mean_a=mean_a, mean_b=mean_b,
+                difference=mean_a - mean_b,
+                d=cohens_d(a, b)))
+    return out

@@ -30,6 +30,7 @@ __all__ = [
     "render_kernel_passes",
     "render_report",
     "render_robustness",
+    "render_run_tables",
     "render_timelines",
     "resolve_run",
 ]
@@ -156,6 +157,33 @@ def render_kernel_passes(spans: List[Dict[str, object]]) -> str:
     return "\n".join(lines)
 
 
+def render_run_tables(spans: List[Dict[str, object]]) -> str:
+    """Aggregate ``runtable:<id>`` spans (one per executed repetition)
+    into a per-table summary; empty string when the run executed no
+    run tables."""
+    merged: Dict[str, List[float]] = {}
+    for span in spans:
+        name = str(span.get("name", ""))
+        if not name.startswith("runtable:"):
+            continue
+        attrs = span.get("attrs") or {}
+        bucket = merged.setdefault(name[len("runtable:"):],
+                                   [0, 0, 0.0])
+        bucket[0] += 1
+        bucket[1] += int(attrs.get("cells", 0) or 0)
+        bucket[2] += float(span.get("seconds", 0.0) or 0.0)
+    if not merged:
+        return ""
+    ranked = sorted(merged.items(), key=lambda item: (-item[1][2],
+                                                      item[0]))
+    lines = ["%-6s %6s %8s %10s" % ("table", "reps", "cells",
+                                    "seconds")]
+    for name, (reps, cells, seconds) in ranked:
+        lines.append("%-6s %6d %8d %10.3f" % (name, reps, cells,
+                                              seconds))
+    return "\n".join(lines)
+
+
 def render_robustness(run_doc: Dict[str, object]) -> str:
     """The run's robustness section: retries, pool faults, serial
     degradation, cache store-error/quarantine tallies, artifact-plane
@@ -258,6 +286,12 @@ def render_report(run_doc: Dict[str, object],
     lines.append("")
     lines.append("-- kernel passes --")
     lines.append(render_kernel_passes(obs.get("spans", [])))
+
+    run_tables = render_run_tables(obs.get("spans", []))
+    if run_tables:
+        lines.append("")
+        lines.append("-- run tables --")
+        lines.append(run_tables)
 
     lines.append("")
     lines.append("-- predictor hotspots (top %d mispredicted PCs) --"

@@ -1,13 +1,53 @@
-"""Deterministic input generation for the workloads.
+"""Deterministic input generation and the seeded workload corpus.
 
-All workload inputs come from :class:`Xorshift32`, a tiny seeded PRNG,
-so every experiment is exactly reproducible without any dependence on
-Python's hash randomization or :mod:`random` module state.
+Two layers live here:
+
+* **Input generation** — :class:`Xorshift32`, the tiny seeded PRNG all
+  curated workloads draw their inputs from, so every experiment is
+  exactly reproducible without any dependence on Python's hash
+  randomization or :mod:`random` module state.
+
+* **Program generation** — a seeded structured Mini-C program
+  generator (:class:`GeneratedSpec`, :func:`generated_workload`) with
+  controlled *branchiness*, *deadness*, and *branch-predictability
+  bias* knobs.  It produces whole programs as small ASTs that are both
+  rendered to Mini-C source (:func:`render_program`) and interpreted
+  directly in Python with 32-bit machine semantics
+  (:func:`interpret_program`) — the same double-entry bookkeeping the
+  random-program property suite uses, promoted here so run tables
+  (:mod:`repro.harness.runtable`) can reference generated workloads as
+  factor levels by name: ``gen:s7:n24:b40:d30:p85`` is seed 7, 24
+  top-level statements, 40% branchiness, 30% deadness, 85% branch
+  bias (:func:`parse_generated_name`).  Each seed is one corpus
+  replicate, which is what gives repetition-based confidence intervals
+  a real population to measure.
+
+The AST node format is shared with
+``tests/test_property_random_programs.py``:
+
+* statements — ``("assign", var, expr)``, ``("store", idx, val)``,
+  ``("print", expr)``, ``("if", cond, then, else)``,
+  ``("loop", count, body)``;
+* expressions — ``("num", n)``, ``("var", name)``,
+  ``("load", expr)``, ``("bin", op, left, right)``.
 """
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "GeneratedSpec",
+    "Xorshift32",
+    "array_literal",
+    "generated_name",
+    "generated_workload",
+    "interpret_program",
+    "is_generated_name",
+    "parse_generated_name",
+    "render_program",
+]
 
 
 class Xorshift32:
@@ -30,6 +70,10 @@ class Xorshift32:
         """Uniform-ish integer in [0, bound)."""
         return self.next() % bound
 
+    def chance(self, percent: int) -> bool:
+        """True with probability *percent*/100."""
+        return self.below(100) < percent
+
     def ints(self, count: int, bound: int) -> List[int]:
         """A list of *count* integers in [0, bound)."""
         return [self.below(bound) for _ in range(count)]
@@ -47,3 +91,362 @@ def array_literal(name: str, values: List[int]) -> str:
     """Render a Mini-C global array with an initializer list."""
     body = ", ".join(str(value) for value in values)
     return "int %s[%d] = {%s};" % (name, len(values), body)
+
+
+# ---------------------------------------------------------------------
+# The shared program substrate: globals, rendering, interpretation
+# ---------------------------------------------------------------------
+
+_M32 = 0xFFFFFFFF
+#: the global scalar variables every generated program manipulates
+PROGRAM_VARS = ("g0", "g1", "g2")
+#: initial values of the globals (g1 is negative on purpose: signed
+#: comparison paths get exercised)
+PROGRAM_INITS = (3, -7, 11)
+#: the global array (length must be a power of two: indices are
+#: masked with ``& 7`` so every access is in bounds by construction)
+PROGRAM_ARRAY = (1, 2, 3, 4, 5, 6, 7, 8)
+_OPS = ("+", "-", "*", "&", "|", "^", "<", "==")
+
+
+def _signed(value: int) -> int:
+    value &= _M32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _render_expr(expr) -> str:
+    kind = expr[0]
+    if kind == "num":
+        return str(expr[1])
+    if kind == "var":
+        return expr[1]
+    if kind == "load":
+        return "arr[(%s) & 7]" % _render_expr(expr[1])
+    _, op, left, right = expr
+    return "((%s) %s (%s))" % (_render_expr(left), op,
+                               _render_expr(right))
+
+
+def _render_stmts(stmts, indent: int, counter: List[int]) -> List[str]:
+    lines = []
+    pad = "  " * indent
+    for stmt in stmts:
+        kind = stmt[0]
+        if kind == "assign":
+            lines.append("%s%s = %s;" % (pad, stmt[1],
+                                         _render_expr(stmt[2])))
+        elif kind == "store":
+            lines.append("%sarr[(%s) & 7] = %s;" %
+                         (pad, _render_expr(stmt[1]),
+                          _render_expr(stmt[2])))
+        elif kind == "print":
+            lines.append("%sprint(%s);" % (pad, _render_expr(stmt[1])))
+        elif kind == "if":
+            lines.append("%sif (%s) {" % (pad, _render_expr(stmt[1])))
+            lines.extend(_render_stmts(stmt[2], indent + 1, counter))
+            lines.append("%s} else {" % pad)
+            lines.extend(_render_stmts(stmt[3], indent + 1, counter))
+            lines.append("%s}" % pad)
+        else:  # loop
+            name = "it%d" % counter[0]
+            counter[0] += 1
+            lines.append("%sint %s;" % (pad, name))
+            lines.append("%sfor (%s = 0; %s < %d; %s = %s + 1) {" %
+                         (pad, name, name, stmt[1], name, name))
+            lines.extend(_render_stmts(stmt[2], indent + 1, counter))
+            lines.append("%s}" % pad)
+    return lines
+
+
+def render_program(stmts) -> str:
+    """One statement list as a complete Mini-C program."""
+    body = "\n".join(_render_stmts(stmts, 1, [0]))
+    header = "\n".join(
+        ["int %s = %d;" % (name, init)
+         for name, init in zip(PROGRAM_VARS, PROGRAM_INITS)]
+        + [array_literal("arr", list(PROGRAM_ARRAY))])
+    return "%s\nvoid main() {\n%s\n}\n" % (header, body)
+
+
+def _eval_expr(expr, env, arr) -> int:
+    kind = expr[0]
+    if kind == "num":
+        return expr[1] & _M32
+    if kind == "var":
+        return env[expr[1]]
+    if kind == "load":
+        return arr[_eval_expr(expr[1], env, arr) & 7]
+    _, op, left, right = expr
+    a = _eval_expr(left, env, arr)
+    b = _eval_expr(right, env, arr)
+    if op == "+":
+        return (a + b) & _M32
+    if op == "-":
+        return (a - b) & _M32
+    if op == "*":
+        return (a * b) & _M32
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    if op == "<":
+        return int(_signed(a) < _signed(b))
+    return int(a == b)  # "=="
+
+
+def _eval_stmts(stmts, env, arr, output) -> None:
+    for stmt in stmts:
+        kind = stmt[0]
+        if kind == "assign":
+            env[stmt[1]] = _eval_expr(stmt[2], env, arr)
+        elif kind == "store":
+            arr[_eval_expr(stmt[1], env, arr) & 7] = \
+                _eval_expr(stmt[2], env, arr)
+        elif kind == "print":
+            output.append(_signed(_eval_expr(stmt[1], env, arr)))
+        elif kind == "if":
+            branch = stmt[2] if _eval_expr(stmt[1], env, arr) \
+                else stmt[3]
+            _eval_stmts(branch, env, arr, output)
+        else:  # loop
+            for _ in range(stmt[1]):
+                _eval_stmts(stmt[2], env, arr, output)
+
+
+def interpret_program(stmts) -> List[int]:
+    """Direct interpretation with 32-bit machine semantics: the pure
+    reference for a generated program's output."""
+    env = {name: init & _M32
+           for name, init in zip(PROGRAM_VARS, PROGRAM_INITS)}
+    arr = list(PROGRAM_ARRAY)
+    output: List[int] = []
+    _eval_stmts(stmts, env, arr, output)
+    return output
+
+
+# ---------------------------------------------------------------------
+# The seeded corpus generator
+# ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GeneratedSpec:
+    """One corpus workload: seed plus the three behaviour knobs.
+
+    * *stmts* — top-level statement budget (scaled by the experiment's
+      ``scale`` like every curated workload's input size);
+    * *branchiness* — percent chance a statement slot becomes control
+      flow (an ``if`` or a bounded loop) instead of straight-line code;
+    * *deadness* — percent chance a generated assignment or store is
+      immediately shadowed by a second write to the same location,
+      manufacturing dynamically dead instructions on purpose;
+    * *bias* — percent chance a generated branch condition is highly
+      predictable (constant-direction comparison) rather than
+      data-dependent; low bias starves the path predictor of reliable
+      future-path information, the axis experiment run tables sweep.
+    """
+
+    seed: int = 1
+    stmts: int = 24
+    branchiness: int = 40
+    deadness: int = 30
+    bias: int = 85
+
+    def validate(self) -> "GeneratedSpec":
+        if self.seed < 0:
+            raise ValueError("generated workload seed must be >= 0, "
+                             "got %d" % self.seed)
+        if self.stmts < 1:
+            raise ValueError("generated workload stmts must be >= 1, "
+                             "got %d" % self.stmts)
+        for knob in ("branchiness", "deadness", "bias"):
+            value = getattr(self, knob)
+            if not 0 <= value <= 100:
+                raise ValueError(
+                    "generated workload %s must be a percentage in "
+                    "[0, 100], got %d" % (knob, value))
+        return self
+
+
+#: ``field letter -> (GeneratedSpec attribute, description)`` for the
+#: compact name format ``gen:s<seed>:n<stmts>:b<branch%>:d<dead%>:p<bias%>``
+_NAME_FIELDS = {
+    "s": ("seed", "seed"),
+    "n": ("stmts", "statement budget"),
+    "b": ("branchiness", "branchiness percent"),
+    "d": ("deadness", "deadness percent"),
+    "p": ("bias", "branch-predictability bias percent"),
+}
+
+GENERATED_PREFIX = "gen:"
+
+
+def is_generated_name(name: str) -> bool:
+    return name.startswith(GENERATED_PREFIX)
+
+
+def generated_name(spec: GeneratedSpec) -> str:
+    """The canonical registry name for *spec* (round-trips through
+    :func:`parse_generated_name`)."""
+    return "gen:s%d:n%d:b%d:d%d:p%d" % (
+        spec.seed, spec.stmts, spec.branchiness, spec.deadness,
+        spec.bias)
+
+
+def parse_generated_name(name: str) -> GeneratedSpec:
+    """Parse a ``gen:...`` workload name; unknown or malformed fields
+    raise ``ValueError`` naming the offending field."""
+    if not is_generated_name(name):
+        raise ValueError("not a generated workload name: %r" % name)
+    spec = GeneratedSpec()
+    body = name[len(GENERATED_PREFIX):]
+    for token in filter(None, body.split(":")):
+        letter, digits = token[:1], token[1:]
+        if letter not in _NAME_FIELDS:
+            raise ValueError(
+                "unknown generated workload field %r in %r (have: %s)"
+                % (token, name,
+                   ", ".join("%s=%s" % (k, v[1])
+                             for k, v in sorted(_NAME_FIELDS.items()))))
+        attribute, description = _NAME_FIELDS[letter]
+        try:
+            value = int(digits)
+        except ValueError:
+            raise ValueError(
+                "generated workload %s must be an integer, got %r "
+                "in %r" % (description, digits, name))
+        spec = replace(spec, **{attribute: value})
+    return spec.validate()
+
+
+def _gen_expr(rng: Xorshift32, depth: int, exclude: str = ""):
+    """One expression; *exclude* bars a variable so a shadowing write
+    cannot accidentally read the value it is meant to kill."""
+    choices = [name for name in PROGRAM_VARS if name != exclude]
+    roll = rng.below(100)
+    if depth == 0 or roll < 35:
+        if rng.chance(50):
+            return ("num", rng.below(81) - 40)
+        return ("var", choices[rng.below(len(choices))])
+    if roll < 80:
+        return ("bin", _OPS[rng.below(len(_OPS))],
+                _gen_expr(rng, depth - 1, exclude),
+                _gen_expr(rng, depth - 1, exclude))
+    return ("load", _gen_expr(rng, depth - 1, exclude))
+
+
+def _gen_condition(rng: Xorshift32, bias: int):
+    """A branch condition: biased toward a constant-direction (and so
+    perfectly predictable) comparison, falling back to a data-dependent
+    one — the generator's branch-predictability knob."""
+    if rng.chance(bias):
+        low, high = rng.below(40), 41 + rng.below(40)
+        if rng.chance(50):
+            return ("bin", "<", ("num", low), ("num", high))
+        return ("bin", "<", ("num", high), ("num", low))
+    # Data-dependent: the low bits of mutated array state.
+    return ("bin", "&", ("load", _gen_expr(rng, 1)),
+            ("num", 1 + rng.below(3)))
+
+
+def _gen_stmt(rng: Xorshift32, spec: GeneratedSpec, depth: int):
+    """One statement slot; may expand to several statements (the
+    deadness knob emits write/shadow pairs)."""
+    if depth > 0 and rng.chance(spec.branchiness):
+        count = 1 + rng.below(3)
+        body_len = 1 + rng.below(3)
+        if rng.chance(50):
+            then_branch = [part
+                           for _ in range(body_len)
+                           for part in _gen_stmt(rng, spec, depth - 1)]
+            else_branch = [part
+                           for part in _gen_stmt(rng, spec, depth - 1)]
+            return [("if", _gen_condition(rng, spec.bias),
+                     then_branch, else_branch)]
+        body = [part
+                for _ in range(body_len)
+                for part in _gen_stmt(rng, spec, depth - 1)]
+        return [("loop", count, body)]
+    roll = rng.below(100)
+    if roll < 55:
+        name = PROGRAM_VARS[rng.below(len(PROGRAM_VARS))]
+        stmt = ("assign", name, _gen_expr(rng, 2))
+        if rng.chance(spec.deadness):
+            # Immediately shadow the write (the shadow never reads the
+            # shadowed variable): the first assignment is dynamically
+            # dead by construction.
+            return [stmt, ("assign", name,
+                           _gen_expr(rng, 2, exclude=name))]
+        return [stmt]
+    if roll < 80:
+        index = ("num", rng.below(8))
+        stmt = ("store", index, _gen_expr(rng, 2))
+        if rng.chance(spec.deadness):
+            return [stmt, ("store", index, _gen_expr(rng, 2))]
+        return [stmt]
+    return [("print", _gen_expr(rng, 2))]
+
+
+def generate_ast(spec: GeneratedSpec, scale: float = 1.0) -> List[tuple]:
+    """The seeded AST for *spec* at *scale* (deterministic: same spec
+    and scale, same program — the reproducibility contract every
+    workload in the registry honours)."""
+    spec.validate()
+    rng = Xorshift32(0x9E3779B9 ^ (spec.seed * 0x85EBCA6B + 1))
+    budget = max(2, int(spec.stmts * scale))
+    stmts: List[tuple] = []
+    for _ in range(budget):
+        stmts.extend(_gen_stmt(rng, spec, depth=2))
+    # A fixed epilogue keeps the output non-empty (output verification
+    # is the engine's end-to-end cross-check) and makes every global
+    # observable, so deadness comes from shadowed writes, not from
+    # values that were simply never printed.
+    for name in PROGRAM_VARS:
+        stmts.append(("print", ("var", name)))
+    checksum = ("load", ("num", 0))
+    for index in range(1, len(PROGRAM_ARRAY)):
+        checksum = ("bin", "^", checksum, ("load", ("num", index)))
+    stmts.append(("print", checksum))
+    return stmts
+
+
+_AST_MEMO: Dict[Tuple[GeneratedSpec, float], List[tuple]] = {}
+
+
+def _ast_for(spec: GeneratedSpec, scale: float) -> List[tuple]:
+    key = (spec, scale)
+    ast = _AST_MEMO.get(key)
+    if ast is None:
+        ast = generate_ast(spec, scale)
+        _AST_MEMO[key] = ast
+    return ast
+
+
+def generated_workload(spec_or_name):
+    """A :class:`~repro.workloads.Workload` for one corpus entry.
+
+    Accepts a :class:`GeneratedSpec` or a ``gen:...`` name.  The
+    workload's source renders the seeded AST and its reference
+    interprets the same AST directly, so the engine's output
+    verification cross-checks compiler, assembler, and emulator on
+    generated programs exactly as it does on the curated suite.
+    """
+    from repro.workloads.suite import Workload
+
+    spec = (parse_generated_name(spec_or_name)
+            if isinstance(spec_or_name, str) else
+            spec_or_name.validate())
+    name = generated_name(spec)
+    return Workload(
+        name=name,
+        description=("generated corpus program (seed %d, %d stmts, "
+                     "branchiness %d%%, deadness %d%%, branch bias "
+                     "%d%%)" % (spec.seed, spec.stmts,
+                                spec.branchiness, spec.deadness,
+                                spec.bias)),
+        source=lambda scale=1.0: render_program(_ast_for(spec, scale)),
+        reference=lambda scale=1.0: interpret_program(
+            _ast_for(spec, scale)),
+    )

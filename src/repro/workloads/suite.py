@@ -74,11 +74,30 @@ def workload_names() -> List[str]:
     return [module.NAME for module in _MODULES]
 
 
+_GENERATED_MEMO: Dict[str, Workload] = {}
+
+
 def get_workload(name: str) -> Workload:
-    """Look up one workload by name."""
+    """Look up one workload by name.
+
+    Besides the curated suite, ``gen:...`` names resolve to seeded
+    corpus programs synthesized on demand (see
+    :mod:`repro.workloads.generate`).  Resolution is pure — derived
+    from the name alone — so a fresh pool worker process resolves the
+    same name to the same workload without any registry hand-off.
+    """
+    from repro.workloads import generate
+
+    if generate.is_generated_name(name):
+        workload = _GENERATED_MEMO.get(name)
+        if workload is None:
+            workload = generate.generated_workload(name)
+            _GENERATED_MEMO[name] = workload
+        return workload
     if name not in _REGISTRY:
-        raise KeyError("unknown workload %r (have: %s)" %
-                       (name, ", ".join(workload_names())))
+        raise KeyError(
+            "unknown workload %r (have: %s; or a gen:... corpus name)"
+            % (name, ", ".join(workload_names())))
     return _REGISTRY[name]
 
 

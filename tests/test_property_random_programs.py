@@ -26,19 +26,18 @@ from repro.analysis import analyze_deadness, replay_trace
 from repro.emulator import run_program
 from repro.lang import CompilerOptions, compile_to_program
 from repro.pipeline.core import _classify_fu
+from repro.workloads.generate import (
+    PROGRAM_VARS as _VARS,
+    interpret_program as _interpret,
+    render_program as _render_program,
+)
 
-_M32 = 0xFFFFFFFF
-_VARS = ("g0", "g1", "g2")
 _OPS = ("+", "-", "*", "&", "|", "^", "<", "==")
 
 
-def _signed(value):
-    value &= _M32
-    return value - 0x100000000 if value & 0x80000000 else value
-
-
 # ---------------------------------------------------------------------
-# Generation
+# Generation (rendering and interpretation are shared with the corpus
+# generator in repro.workloads.generate — the promoted substrate)
 # ---------------------------------------------------------------------
 
 def _exprs(depth):
@@ -72,119 +71,6 @@ def _stmts(depth):
 
 
 programs = st.lists(_stmts(2), min_size=1, max_size=8)
-
-
-# ---------------------------------------------------------------------
-# Rendering to Mini-C
-# ---------------------------------------------------------------------
-
-def _render_expr(expr):
-    kind = expr[0]
-    if kind == "num":
-        return str(expr[1])
-    if kind == "var":
-        return expr[1]
-    if kind == "load":
-        return "arr[(%s) & 7]" % _render_expr(expr[1])
-    _, op, left, right = expr
-    return "((%s) %s (%s))" % (_render_expr(left), op,
-                               _render_expr(right))
-
-
-def _render_stmts(stmts, indent, counter):
-    lines = []
-    pad = "  " * indent
-    for stmt in stmts:
-        kind = stmt[0]
-        if kind == "assign":
-            lines.append("%s%s = %s;" % (pad, stmt[1],
-                                         _render_expr(stmt[2])))
-        elif kind == "store":
-            lines.append("%sarr[(%s) & 7] = %s;" %
-                         (pad, _render_expr(stmt[1]),
-                          _render_expr(stmt[2])))
-        elif kind == "print":
-            lines.append("%sprint(%s);" % (pad, _render_expr(stmt[1])))
-        elif kind == "if":
-            lines.append("%sif (%s) {" % (pad, _render_expr(stmt[1])))
-            lines.extend(_render_stmts(stmt[2], indent + 1, counter))
-            lines.append("%s} else {" % pad)
-            lines.extend(_render_stmts(stmt[3], indent + 1, counter))
-            lines.append("%s}" % pad)
-        else:  # loop
-            name = "it%d" % counter[0]
-            counter[0] += 1
-            lines.append("%sint %s;" % (pad, name))
-            lines.append("%sfor (%s = 0; %s < %d; %s = %s + 1) {" %
-                         (pad, name, name, stmt[1], name, name))
-            lines.extend(_render_stmts(stmt[2], indent + 1, counter))
-            lines.append("%s}" % pad)
-    return lines
-
-
-def _render_program(stmts):
-    body = "\n".join(_render_stmts(stmts, 1, [0]))
-    return ("int g0 = 3;\nint g1 = -7;\nint g2 = 11;\n"
-            "int arr[8] = {1, 2, 3, 4, 5, 6, 7, 8};\n"
-            "void main() {\n%s\n}\n" % body)
-
-
-# ---------------------------------------------------------------------
-# Direct interpretation with machine semantics
-# ---------------------------------------------------------------------
-
-def _eval_expr(expr, env, arr):
-    kind = expr[0]
-    if kind == "num":
-        return expr[1] & _M32
-    if kind == "var":
-        return env[expr[1]]
-    if kind == "load":
-        return arr[_eval_expr(expr[1], env, arr) & 7]
-    _, op, left, right = expr
-    a = _eval_expr(left, env, arr)
-    b = _eval_expr(right, env, arr)
-    if op == "+":
-        return (a + b) & _M32
-    if op == "-":
-        return (a - b) & _M32
-    if op == "*":
-        return (a * b) & _M32
-    if op == "&":
-        return a & b
-    if op == "|":
-        return a | b
-    if op == "^":
-        return a ^ b
-    if op == "<":
-        return int(_signed(a) < _signed(b))
-    return int(a == b)  # "=="
-
-
-def _eval_stmts(stmts, env, arr, output):
-    for stmt in stmts:
-        kind = stmt[0]
-        if kind == "assign":
-            env[stmt[1]] = _eval_expr(stmt[2], env, arr)
-        elif kind == "store":
-            arr[_eval_expr(stmt[1], env, arr) & 7] = \
-                _eval_expr(stmt[2], env, arr)
-        elif kind == "print":
-            output.append(_signed(_eval_expr(stmt[1], env, arr)))
-        elif kind == "if":
-            branch = stmt[2] if _eval_expr(stmt[1], env, arr) else stmt[3]
-            _eval_stmts(branch, env, arr, output)
-        else:  # loop
-            for _ in range(stmt[1]):
-                _eval_stmts(stmt[2], env, arr, output)
-
-
-def _interpret(stmts):
-    env = {"g0": 3 & _M32, "g1": -7 & _M32, "g2": 11}
-    arr = [1, 2, 3, 4, 5, 6, 7, 8]
-    output = []
-    _eval_stmts(stmts, env, arr, output)
-    return output
 
 
 # ---------------------------------------------------------------------
