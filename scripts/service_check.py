@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""CI smoke for the experiment service daemon (``repro-harness
+serve``, docs/service.md).
+
+Starts the daemon, then proves its contracts end to end:
+
+1. **Concurrent clients** — two clients submit jobs at the same time
+   (one experiments job, one run-table job); both must finish ``done``.
+2. **Live telemetry** — ``/metrics`` is scraped *while* the jobs run
+   and again after; the final exposition must lint clean and carry
+   ``repro_service_*`` series that agree with the client-side counts.
+3. **Byte-identity** — every experiment result fetched from the
+   service must be byte-identical to the same experiment's rendered
+   block in a real ``repro-harness`` CLI run sharing the cache.
+4. **Load burst** — a short closed-loop burst via
+   ``scripts/service_loadgen.py`` (which re-checks job/metric/history
+   integrity and writes ``BENCH_service.json``).
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/service_check.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.service import ServiceClient  # noqa: E402
+from repro.obs.registry import lint_exposition  # noqa: E402
+
+SCALE = "0.3"
+EXPERIMENTS = ["F1", "F3"]
+TABLE = "F5"
+BANNER = re.compile(r"serving experiment service on "
+                    r"(http://[\d.:]+|unix://\S+) ")
+
+
+def fail(message: str) -> None:
+    print("FAIL: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def script_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", "src"),
+         env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    return env
+
+
+def start_service(cache_dir: str):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.harness", "serve", "--port", "0",
+         "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=script_env())
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            fail("service exited during startup (code %s)"
+                 % proc.poll())
+        match = BANNER.search(line)
+        if match:
+            print("service up at %s" % match.group(1))
+            return proc, match.group(1)
+    proc.kill()
+    fail("service did not print its endpoint within 30s")
+
+
+def cli_experiment_blocks(cache_dir: str) -> dict:
+    """Run the experiments through the plain CLI (same cache) and
+    split stdout into per-experiment rendered blocks."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.harness"] + EXPERIMENTS
+        + ["--scale", SCALE, "--cache-dir", cache_dir, "--no-meta",
+           "--no-history"],
+        capture_output=True, text=True, env=script_env())
+    if result.returncode != 0:
+        fail("CLI reference run failed:\n%s" % result.stdout[-2000:])
+    blocks = {}
+    current = None
+    for line in result.stdout.splitlines():
+        match = re.match(r"== (\w+): ", line)
+        if match:
+            current = match.group(1)
+            blocks[current] = []
+        if current is not None:
+            if line.startswith("[%s finished" % current):
+                blocks[current] = "\n".join(blocks[current]) + "\n"
+                current = None
+            else:
+                blocks[current].append(line)
+    return blocks
+
+
+def main() -> int:
+    cache_dir = tempfile.mkdtemp(prefix="repro-service-ci-")
+    proc, target = start_service(cache_dir)
+    mid_run_expositions = []
+    try:
+        # -- 1: two clients submit concurrently -----------------------
+        outcomes = {}
+
+        def submit_and_wait(name: str, spec: dict) -> None:
+            client = ServiceClient(target, timeout=600.0)
+            job_id = client.submit(spec)
+            outcomes[name] = (job_id,
+                              client.wait(job_id, timeout=600.0))
+
+        threads = [
+            threading.Thread(target=submit_and_wait, args=(
+                "experiments", {"kind": "experiments",
+                                "experiments": EXPERIMENTS,
+                                "scale": float(SCALE)})),
+            threading.Thread(target=submit_and_wait, args=(
+                "table", {"kind": "table", "tables": [TABLE],
+                          "scale": float(SCALE)})),
+        ]
+        for thread in threads:
+            thread.start()
+        # -- 2a: scrape while the jobs run ----------------------------
+        scrape_deadline = time.monotonic() + 10.0
+        while any(thread.is_alive() for thread in threads) \
+                and time.monotonic() < scrape_deadline:
+            with urllib.request.urlopen(target + "/metrics",
+                                        timeout=5) as response:
+                mid_run_expositions.append(
+                    response.read().decode("utf-8"))
+            time.sleep(0.05)
+        for thread in threads:
+            thread.join(timeout=600)
+        for name in ("experiments", "table"):
+            if name not in outcomes:
+                fail("client %r never completed" % name)
+            job_id, doc = outcomes[name]
+            if doc["state"] != "done":
+                fail("job %s (%s) ended %s: %s" % (
+                    job_id, name, doc["state"], doc.get("error")))
+        print("concurrent clients: %d mid-run scrapes, both jobs done"
+              % len(mid_run_expositions))
+
+        # -- 2b: final exposition lints clean with service series -----
+        client = ServiceClient(target, timeout=600.0)
+        exposition = client.metrics()
+        problems = lint_exposition(exposition)
+        if problems:
+            fail("final exposition failed lint: %s" % problems[:3])
+        for series in ("repro_service_jobs_submitted_total",
+                       "repro_service_jobs_total",
+                       "repro_service_job_seconds",
+                       "repro_service_requests_total"):
+            if series not in exposition:
+                fail("final exposition is missing %s" % series)
+        done = sum(float(line.rsplit(None, 1)[1])
+                   for line in exposition.splitlines()
+                   if line.startswith("repro_service_jobs_total")
+                   and 'status="done"' in line)
+        if int(done) != 2:
+            fail("repro_service_jobs_total{status=done} is %d, "
+                 "expected 2" % int(done))
+        if not any("repro_service_" in text
+                   for text in mid_run_expositions):
+            fail("no mid-run scrape showed repro_service_* series")
+        print("telemetry: exposition lints clean, service series "
+              "present mid-run and after")
+
+        # -- 3: byte-identity vs the CLI path -------------------------
+        service_text = client.result_text(outcomes["experiments"][0])
+        reference = cli_experiment_blocks(cache_dir)
+        for name in EXPERIMENTS:
+            if name not in reference:
+                fail("CLI output had no block for %s" % name)
+        # The service renders each unit exactly as the CLI prints it
+        # (render + blank separator), so the whole text must match.
+        expected = "".join(reference[name] + "\n"
+                           for name in EXPERIMENTS)
+        if service_text != expected:
+            fail("service result is not byte-identical to the CLI "
+                 "run (service %d bytes, CLI %d bytes)"
+                 % (len(service_text), len(expected)))
+        print("byte-identity: %d experiment blocks identical to the "
+              "CLI run" % len(EXPERIMENTS))
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    # -- 4: load burst (starts its own daemon, rechecks integrity) ----
+    result = subprocess.run(
+        [sys.executable,
+         os.path.join(os.path.dirname(__file__),
+                      "service_loadgen.py"),
+         "--clients", "4", "--jobs-total", "12", "--scale", SCALE],
+        env=script_env())
+    if result.returncode != 0:
+        fail("load-generator burst failed")
+    print("OK: service smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

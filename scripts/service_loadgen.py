@@ -1,0 +1,294 @@
+#!/usr/bin/env python
+"""Closed-loop load generator for the experiment service.
+
+Starts a ``repro-harness serve`` daemon (unless ``--target`` points at
+one already running), then drives it with N concurrent clients, each
+in a closed loop — submit a job from a mixed pool of job types, poll
+(long-poll) until it finishes, verify the result arrived, repeat —
+until the requested number of jobs has completed.  This is the
+Locust-style harness for the service: client concurrency stresses the
+HTTP layer and the queue while the executor drains jobs through the
+shared engine, so the steady state measures exactly what a deployment
+would see — queueing delay dominated by cache-hit execution.
+
+Reported (and written to ``BENCH_service.json``):
+
+* throughput (finished jobs/s over the measurement window);
+* per-job latency percentiles (p50/p90/p99), split into queue wait vs
+  execution wall time as reported by the service;
+* engine stage-cache hit rate under contention (from ``/stats``);
+* history/metrics integrity: every finished job present in ``GET
+  /jobs``, ``repro_service_jobs_total`` agreeing with the client-side
+  count, zero corrupt history lines.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/service_loadgen.py
+    PYTHONPATH=src python scripts/service_loadgen.py \
+        --clients 8 --jobs-total 40 --scale 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.service import ServiceClient, ServiceError  # noqa: E402
+
+#: the submission mix, cycled per job index: mostly cheap analysis
+#: experiments (cache-hot after the first round), some timing
+#: experiments, an occasional run table — roughly a real mix of
+#: interactive probes and batch sweeps
+DEFAULT_MIX = [
+    {"kind": "experiments", "experiments": ["F1"]},
+    {"kind": "experiments", "experiments": ["F3"]},
+    {"kind": "experiments", "experiments": ["F9"]},
+    {"kind": "experiments", "experiments": ["F1", "F3"]},
+    {"kind": "table", "tables": ["F5"], "reps": 1},
+]
+
+
+def fail(message: str) -> None:
+    print("FAIL: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def percentile(values, fraction: float) -> float:
+    """Nearest-rank percentile (no interpolation, stdlib only)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(int(fraction * len(ordered)), len(ordered) - 1)
+    return ordered[index]
+
+
+def start_daemon(scale_hint: float, cache_dir: str):
+    """Launch ``repro-harness serve`` and parse its endpoint banner."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", "src"),
+         env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.harness", "serve", "--port", "0",
+         "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            fail("service exited during startup (code %s)"
+                 % proc.poll())
+        match = re.search(r"on (http://[\d.:]+|unix://\S+) ", line)
+        if match:
+            return proc, match.group(1)
+    proc.kill()
+    fail("service did not print its endpoint within 30s")
+
+
+def run_clients(target: str, clients: int, jobs_total: int,
+                scale: float, timeout: float):
+    """The closed loop: *clients* threads share a global job budget;
+    each submits, waits, fetches the result, records latency."""
+    lock = threading.Lock()
+    state = {"next_index": 0, "errors": []}
+    completions = []  # (latency_s, queue_s, wall_s, kind)
+
+    def loop(worker: int) -> None:
+        client = ServiceClient(target, timeout=timeout)
+        while True:
+            with lock:
+                index = state["next_index"]
+                if index >= jobs_total or state["errors"]:
+                    return
+                state["next_index"] = index + 1
+            spec = dict(DEFAULT_MIX[index % len(DEFAULT_MIX)])
+            spec["scale"] = scale
+            started = time.monotonic()
+            try:
+                job_id = client.submit(spec)
+                doc = client.wait(job_id, timeout=timeout)
+                if doc["state"] != "done":
+                    raise ServiceError(500, "job %s ended %s: %s" % (
+                        job_id, doc["state"], doc.get("error")))
+                if not client.result_text(job_id).strip():
+                    raise ServiceError(500, "job %s returned an empty "
+                                            "result" % job_id)
+            except Exception as error:
+                with lock:
+                    state["errors"].append("client %d job %d: %s"
+                                           % (worker, index, error))
+                return
+            latency = time.monotonic() - started
+            with lock:
+                completions.append((latency, float(doc["queue_s"]),
+                                    float(doc["wall_s"]),
+                                    spec["kind"]))
+
+    threads = [threading.Thread(target=loop, args=(worker,),
+                                name="loadgen-%d" % worker)
+               for worker in range(clients)]
+    window_start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    window = time.monotonic() - window_start
+    if state["errors"]:
+        fail("; ".join(state["errors"][:5]))
+    return completions, window
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=6,
+                        help="concurrent closed-loop clients "
+                             "(default 6)")
+    parser.add_argument("--jobs-total", type=int, default=30,
+                        help="jobs to complete across all clients "
+                             "(default 30)")
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="workload scale for every job "
+                             "(default 0.3)")
+    parser.add_argument("--warmup-jobs", type=int, default=None,
+                        help="jobs submitted serially before the "
+                             "measured window, to separate cold-cache "
+                             "compute from steady-state service "
+                             "latency (default: one per mix entry)")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-job client timeout (default 600)")
+    parser.add_argument("--target", metavar="URL",
+                        help="drive an already-running service "
+                             "(http://host:port or unix:///path) "
+                             "instead of starting one")
+    parser.add_argument("--output", default="BENCH_service.json",
+                        help="result file (default BENCH_service.json)")
+    args = parser.parse_args()
+
+    proc = None
+    cache_dir = None
+    if args.target:
+        target = args.target
+    else:
+        cache_dir = tempfile.mkdtemp(prefix="repro-loadgen-")
+        proc, target = start_daemon(args.scale, cache_dir)
+        print("started service at %s (cache %s)" % (target, cache_dir))
+
+    try:
+        client = ServiceClient(target, timeout=args.timeout)
+
+        # Warm-up: one serial pass over the mix populates the stage
+        # cache, so the measured window reflects the service under
+        # steady-state (cache-hot) load, not first-compute cost.
+        warmup = args.warmup_jobs
+        if warmup is None:
+            warmup = len(DEFAULT_MIX)
+        warm_started = time.monotonic()
+        for index in range(warmup):
+            spec = dict(DEFAULT_MIX[index % len(DEFAULT_MIX)])
+            spec["scale"] = args.scale
+            doc = client.wait(client.submit(spec),
+                              timeout=args.timeout)
+            if doc["state"] != "done":
+                fail("warmup job ended %s: %s"
+                     % (doc["state"], doc.get("error")))
+        warm_seconds = time.monotonic() - warm_started
+        print("warmup: %d job%s in %.1fs" % (
+            warmup, "" if warmup == 1 else "s", warm_seconds))
+
+        stats_before = client.stats()
+        completions, window = run_clients(
+            target, args.clients, args.jobs_total, args.scale,
+            args.timeout)
+        stats_after = client.stats()
+
+        # Integrity: the service agrees with the client-side count.
+        done_jobs = [doc for doc in client.jobs()
+                     if doc["state"] == "done"]
+        expected_done = warmup + len(completions)
+        if len(done_jobs) != expected_done:
+            fail("service reports %d done jobs, clients completed %d"
+                 % (len(done_jobs), expected_done))
+        metric_total = sum(
+            float(line.rsplit(None, 1)[1])
+            for line in client.metrics().splitlines()
+            if line.startswith("repro_service_jobs_total")
+            and 'status="done"' in line)
+        if int(metric_total) != expected_done:
+            fail("repro_service_jobs_total{status=done} is %d, "
+                 "expected %d" % (int(metric_total), expected_done))
+
+        latencies = [entry[0] for entry in completions]
+        queue_waits = [entry[1] for entry in completions]
+        walls = [entry[2] for entry in completions]
+        hits_delta = (stats_after["cache"]["hits"]
+                      - stats_before["cache"]["hits"])
+        misses_delta = (stats_after["cache"]["misses"]
+                        - stats_before["cache"]["misses"])
+        lookups = hits_delta + misses_delta
+        document = {
+            "clients": args.clients,
+            "jobs_total": len(completions),
+            "scale": args.scale,
+            "mix": DEFAULT_MIX,
+            "warmup": {"jobs": warmup,
+                       "seconds": round(warm_seconds, 3)},
+            "window_s": round(window, 3),
+            "throughput_jobs_per_s": round(len(completions) / window,
+                                           3),
+            "latency_s": {
+                "p50": round(percentile(latencies, 0.50), 4),
+                "p90": round(percentile(latencies, 0.90), 4),
+                "p99": round(percentile(latencies, 0.99), 4),
+                "max": round(max(latencies), 4),
+            },
+            "queue_wait_s": {
+                "p50": round(percentile(queue_waits, 0.50), 4),
+                "p99": round(percentile(queue_waits, 0.99), 4),
+            },
+            "execution_s": {
+                "p50": round(percentile(walls, 0.50), 4),
+                "p99": round(percentile(walls, 0.99), 4),
+            },
+            "cache_under_load": {
+                "hits": hits_delta,
+                "misses": misses_delta,
+                "hit_rate": round(hits_delta / lookups, 4)
+                if lookups else None,
+            },
+            "jobs_by_state": stats_after["jobs"],
+        }
+        with open(args.output, "w") as stream:
+            json.dump(document, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print("measured: %d jobs, %d clients, %.1fs window -> "
+              "%.2f jobs/s; latency p50 %.3fs p99 %.3fs; cache hit "
+              "rate %s" % (
+                  len(completions), args.clients, window,
+                  document["throughput_jobs_per_s"],
+                  document["latency_s"]["p50"],
+                  document["latency_s"]["p99"],
+                  document["cache_under_load"]["hit_rate"]))
+        print("wrote %s" % args.output)
+    finally:
+        if proc is not None:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,8 @@ Examples::
     python -m repro.harness obs trend --pass deadness
     python -m repro.harness obs regress --threshold 2.0  # CI gate
     python -m repro.harness obs serve --port 9300  # replay stored run
+    python -m repro.harness serve --port 9400      # experiment service
+    python -m repro.harness serve --socket /tmp/repro.sock --jobs 4
 
 Experiment runs execute through :mod:`repro.harness.engine` (staged
 on-disk cache + optional multiprocessing) and each invocation records
@@ -817,7 +819,8 @@ def _obs_history_main(args) -> int:
         print()
         return 0
     if args.action == "history":
-        print(obs_history.render_history(records, last=args.last))
+        print(obs_history.render_history(records, last=args.last,
+                                         skipped=skipped))
         return 0
     if args.action == "trend":
         print(obs_history.render_trend(records,
@@ -875,6 +878,85 @@ def _obs_serve_main(args, runs_root: str) -> int:
     return 0
 
 
+def _serve_main(argv: List[str]) -> int:
+    """``serve``: the long-running experiment service daemon
+    (:mod:`repro.harness.service`) — a bounded job queue over the
+    shared engine, accepting experiment/run-table submissions from
+    any number of concurrent clients over HTTP."""
+    parser = argparse.ArgumentParser(
+        prog="repro-harness serve",
+        description="Run the experiment service: POST /jobs submits "
+                    "{'kind': 'experiments'|'table', ...} specs, "
+                    "GET /jobs/<id> polls (?wait=SEC long-polls), "
+                    "GET /jobs/<id>/result returns the rendered text "
+                    "(byte-identical to the equivalent CLI run), "
+                    "DELETE /jobs/<id> cancels; /metrics exposes the "
+                    "live merged registry, /healthz and /stats report "
+                    "service state.  See docs/service.md.")
+    parser.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0, metavar="PORT",
+                        help="TCP port (default 0 = ephemeral; the "
+                             "resolved endpoint is printed on startup)")
+    parser.add_argument("--socket", metavar="PATH",
+                        help="serve on a UNIX socket at PATH instead "
+                             "of TCP (clients connect to unix://PATH)")
+    parser.add_argument("--queue-limit", type=_positive_int(
+        "queue-limit"), default=64, metavar="N",
+        help="queued-job bound; submissions beyond it "
+             "are rejected with 503 (default 64)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append finished jobs to the "
+                             "timing history under "
+                             "<cache-dir>/obs-history/")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable telemetry collection (on by "
+                             "default for the service so /metrics and "
+                             "per-job spans are live)")
+    _add_engine_arguments(parser)
+    args = parser.parse_args(argv)
+
+    from repro import obs as obslib
+    from repro.harness.service import ExperimentService, ServiceServer
+
+    engine = configure(_engine_config(args))
+    # The service defaults telemetry ON: a daemon whose /metrics
+    # endpoint serves an empty exposition is not much of a service.
+    obs_config = obslib.obs_config_from_env()
+    if obs_config is None and not args.no_obs:
+        obs_config = obslib.ObsConfig()
+    obslib.configure_obs(None if args.no_obs else obs_config)
+
+    service = ExperimentService(engine=engine,
+                                queue_limit=args.queue_limit,
+                                history=not args.no_history)
+    server = ServiceServer(service, host=args.host, port=args.port,
+                           socket_path=args.socket)
+    service.start()
+    try:
+        base_url = server.start()
+    except OSError as error:
+        target = args.socket or "%s:%d" % (args.host, args.port)
+        print("could not bind %s: %s" % (target, error),
+              file=sys.stderr)
+        service.stop()
+        return 1
+    # Printed (and flushed) before serving so clients and CI scripts
+    # can parse the resolved endpoint from the first stdout line.
+    print("serving experiment service on %s (jobs: POST /jobs; "
+          "metrics: /metrics; Ctrl-C to stop)" % base_url, flush=True)
+    try:
+        while True:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("stopping experiment service", flush=True)
+        server.stop()
+        service.stop()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     setup_logging()
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -888,6 +970,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "obs":
         return _obs_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     return _experiments_main(argv)
 
 

@@ -1,0 +1,869 @@
+"""The experiment service: a long-running daemon with a job queue.
+
+This is ROADMAP item 2's step from "fast CLI" to "system serving
+traffic": one resident process owns the engine singleton — and with it
+the stage cache, artifact plane, worker pool, fault supervision, and
+the merged telemetry registry — and multiplexes any number of
+concurrent clients over it through a small HTTP API (localhost TCP or
+a UNIX socket, stdlib only)::
+
+    POST   /jobs          submit a job        -> {"job": {...}}  (201)
+    GET    /jobs          list jobs           -> {"jobs": [...]}
+    GET    /jobs/<id>     job status/results  (?wait=SEC long-polls)
+    GET    /jobs/<id>/result   rendered text  (the CLI's exact bytes)
+    DELETE /jobs/<id>     cancel (queued now, running between units)
+    GET    /metrics       live Prometheus exposition (merged registry)
+    GET    /healthz       liveness + job-state counts
+    GET    /stats         engine stage totals (cache hits under load)
+
+A job is either a set of experiments or a set of declarative run
+tables::
+
+    {"kind": "experiments", "experiments": ["F7", "F8"], "scale": 0.5}
+    {"kind": "table", "tables": ["F5"], "reps": 3, "confidence": 0.95}
+
+Execution is strictly the existing CLI path — ``run_experiment`` /
+``RunTableExecutor`` through the shared engine — so every job's
+rendered output is byte-identical to the equivalent ``repro-harness``
+invocation (pinned by ``tests/test_service.py``).  Jobs run one at a
+time on a single executor thread: the engine's own ``--jobs N`` pool
+parallelizes *within* a job, and serializing jobs is what makes the
+shared stage cache a pure win instead of a race.  Client concurrency
+lives in the HTTP layer (a threading server; submissions enqueue in
+arrival order into a bounded queue that rejects with 503 when full).
+
+Telemetry: each job runs under a ``service:job`` span, increments
+``repro_service_jobs_total{kind,status}``/``repro_service_job_seconds``
+(queue depth rides ``repro_service_queue_depth``), all merged into the
+same live registry the run-mode ``--serve-metrics`` endpoint exposes —
+a scrape mid-burst sees the whole service working.  Each finished job
+also appends one record to the persistent obs run history (the locked
+single-write append in :mod:`repro.obs.history` exists exactly so many
+daemon jobs and CLI runs can share one trajectory file).
+
+``scripts/service_loadgen.py`` is the closed-loop load generator that
+proves sustained concurrent traffic (latency percentiles into
+``BENCH_service.json``); ``scripts/service_check.py`` is the CI smoke.
+See ``docs/service.md`` for the full guide.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+from collections import deque
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.harness.engine import Engine, get_engine, install
+
+__all__ = [
+    "ExperimentService",
+    "Job",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "validate_spec",
+]
+
+SCHEMA = 1
+
+#: ``GET /jobs/<id>?wait=SEC`` long-polls are capped here so a client
+#: typo cannot pin a server thread for hours
+MAX_WAIT_SECONDS = 300.0
+
+#: finished jobs kept in memory for late result fetches; the oldest
+#: finished jobs beyond this are pruned (a resident daemon must not
+#: grow without bound)
+FINISHED_JOBS_KEPT = 256
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+class ServiceError(Exception):
+    """A client-visible failure with an HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+# ---------------------------------------------------------------------
+# Job specs
+# ---------------------------------------------------------------------
+
+
+def _spec_float(spec: Dict[str, object], key: str, default: float,
+                minimum: float = 0.0) -> float:
+    value = spec.get(key, default)
+    try:
+        value = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ServiceError(400, "%s must be a number, got %r"
+                           % (key, value))
+    if not value > minimum:
+        raise ServiceError(400, "%s must be > %g, got %g"
+                           % (key, minimum, value))
+    return value
+
+
+def validate_spec(spec: object) -> Dict[str, object]:
+    """Normalize one submitted job spec; raises :class:`ServiceError`
+    (status 400) with a message naming the problem.  The normalized
+    form is what :meth:`Job.document` echoes back."""
+    from repro.harness.experiments import ALL_EXPERIMENTS, RUN_TABLES
+    from repro.harness.stats import CONFIDENCE_LEVELS
+
+    if not isinstance(spec, dict):
+        raise ServiceError(400, "job spec must be a JSON object, got %s"
+                           % type(spec).__name__)
+    kind = spec.get("kind", "experiments")
+    if kind not in ("experiments", "table"):
+        raise ServiceError(400, "kind must be 'experiments' or "
+                                "'table', got %r" % (kind,))
+    normalized: Dict[str, object] = {
+        "kind": kind,
+        "scale": _spec_float(spec, "scale", 1.0),
+    }
+    if kind == "experiments":
+        ids = spec.get("experiments") or []
+        if not isinstance(ids, list) or not ids:
+            raise ServiceError(400, "experiments must be a non-empty "
+                                    "list of experiment ids")
+        ids = [str(identifier).upper() for identifier in ids]
+        unknown = [identifier for identifier in ids
+                   if identifier not in ALL_EXPERIMENTS]
+        if unknown:
+            raise ServiceError(400, "unknown experiment ids: %s "
+                               "(have: %s)" % (", ".join(unknown),
+                                               ", ".join(ALL_EXPERIMENTS)))
+        normalized["experiments"] = ids
+    else:
+        ids = spec.get("tables") or []
+        if not isinstance(ids, list) or not ids:
+            raise ServiceError(400, "tables must be a non-empty list "
+                                    "of run-table ids")
+        ids = [str(identifier).upper() for identifier in ids]
+        unknown = [identifier for identifier in ids
+                   if identifier not in RUN_TABLES]
+        if unknown:
+            raise ServiceError(400, "unknown run-table ids: %s "
+                               "(have: %s)" % (", ".join(unknown),
+                                               ", ".join(RUN_TABLES)))
+        normalized["tables"] = ids
+        reps = spec.get("reps", 1)
+        if not isinstance(reps, int) or reps < 1:
+            raise ServiceError(400, "reps must be a positive integer, "
+                                    "got %r" % (reps,))
+        normalized["reps"] = reps
+        confidence = _spec_float(spec, "confidence", 0.95)
+        if confidence not in CONFIDENCE_LEVELS:
+            raise ServiceError(400, "confidence must be one of %s, "
+                               "got %g" % (", ".join(
+                                   "%g" % level
+                                   for level in CONFIDENCE_LEVELS),
+                                   confidence))
+        normalized["confidence"] = confidence
+    return normalized
+
+
+def _spec_units(spec: Dict[str, object]) -> List[str]:
+    key = "experiments" if spec["kind"] == "experiments" else "tables"
+    return list(spec[key])  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------
+# Jobs
+# ---------------------------------------------------------------------
+
+
+class Job:
+    """One submitted unit of service work."""
+
+    def __init__(self, job_id: str, spec: Dict[str, object]):
+        self.job_id = job_id
+        self.spec = spec
+        self.state = "queued"
+        self.created_at = time.time()  # display only; durations are
+        self._created_mono = time.monotonic()  # monotonic throughout
+        self.queue_seconds = 0.0
+        self.wall_seconds = 0.0
+        self.error: Optional[str] = None
+        #: one entry per finished unit: ``{"id", "rendered", "wall_s"}``
+        self.results: List[Dict[str, object]] = []
+        self.history_checksum: Optional[str] = None
+        self.done = threading.Event()
+        self._cancel = threading.Event()
+
+    def request_cancel(self) -> None:
+        self._cancel.set()
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    def finish(self, state: str, error: Optional[str] = None) -> None:
+        self.state = state
+        self.error = error
+        self.done.set()
+
+    def rendered_text(self) -> str:
+        """Every finished unit's rendered output, exactly as the CLI
+        prints it (one blank line between units, trailing newline)."""
+        return "".join(str(entry["rendered"]) + "\n\n"
+                       for entry in self.results)
+
+    def document(self, results: bool = False) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "spec": dict(self.spec),
+            "created_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.localtime(self.created_at)),
+            "units": _spec_units(self.spec),
+            "units_done": len(self.results),
+            "queue_s": round(self.queue_seconds, 3),
+            "wall_s": round(self.wall_seconds, 3),
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.history_checksum is not None:
+            doc["history_checksum"] = self.history_checksum
+        if results:
+            doc["results"] = [dict(entry) for entry in self.results]
+        return doc
+
+
+# ---------------------------------------------------------------------
+# The service core
+# ---------------------------------------------------------------------
+
+
+class ExperimentService:
+    """Owns the job queue and the single executor thread.
+
+    *engine* (default: the process singleton) is installed as the
+    singleton on :meth:`start`, because jobs execute through the
+    existing ``run_experiment``/``RunTableExecutor`` path, which
+    resolves the engine via :func:`repro.harness.engine.get_engine` —
+    one engine, one stage cache, shared by every client.
+    """
+
+    def __init__(self, engine: Optional[Engine] = None,
+                 queue_limit: int = 64, history: bool = True):
+        self.engine = engine if engine is not None else get_engine()
+        self.queue_limit = max(int(queue_limit), 1)
+        self.history = history
+        self.started_at = time.time()
+        self.jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._queue: deque = deque()
+        self._wake = threading.Condition(threading.Lock())
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+        self._ids = itertools.count(1)
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("service is already running")
+        install(self.engine)
+        self._stopping = False
+        self._thread = threading.Thread(target=self._run_loop,
+                                        name="repro-service-executor",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop accepting work and join the executor.  Queued jobs are
+        cancelled; a running job is asked to cancel between units."""
+        with self._wake:
+            self._stopping = True
+            while self._queue:
+                job = self._queue.popleft()
+                job.finish("cancelled", "service shutting down")
+            self._wake.notify_all()
+        for job in list(self.jobs.values()):
+            if job.state == "running":
+                job.request_cancel()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=timeout)
+        self._note_queue_depth()
+
+    # -- client operations --------------------------------------------
+
+    def submit(self, raw_spec: object) -> Job:
+        spec = validate_spec(raw_spec)
+        with self._wake:
+            if self._stopping:
+                raise ServiceError(503, "service is shutting down")
+            if len(self._queue) >= self.queue_limit:
+                raise ServiceError(503, "job queue is full (%d queued, "
+                                   "limit %d)" % (len(self._queue),
+                                                  self.queue_limit))
+            job = Job("job-%06d" % next(self._ids), spec)
+            self.jobs[job.job_id] = job
+            self._order.append(job.job_id)
+            self._queue.append(job)
+            self._wake.notify()
+        obs.metrics().counter(
+            "repro_service_jobs_submitted_total",
+            "jobs accepted into the service queue",
+            kind=spec["kind"]).inc()
+        self._note_queue_depth()
+        self._prune_finished()
+        return job
+
+    def job(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(404, "no such job: %s" % job_id)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        job = self.job(job_id)
+        with self._wake:
+            if job.state == "queued":
+                try:
+                    self._queue.remove(job)
+                except ValueError:
+                    pass  # executor claimed it between checks
+                else:
+                    job.finish("cancelled", "cancelled while queued")
+        if job.state == "running":
+            job.request_cancel()
+        self._note_queue_depth()
+        return job
+
+    def list_documents(self) -> List[Dict[str, object]]:
+        return [self.jobs[job_id].document()
+                for job_id in self._order if job_id in self.jobs]
+
+    def state_counts(self) -> Dict[str, int]:
+        counts = dict.fromkeys(JOB_STATES, 0)
+        for job in self.jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def stats_document(self) -> Dict[str, object]:
+        """Engine-level totals for load tooling: per-stage cache
+        hits/misses/seconds, instructions, queue depth, job states."""
+        stats = self.engine.stats
+        stages = {stage: dict(bucket)
+                  for stage, bucket in stats.counts.items()}
+        hits = sum(int(bucket.get("hits", 0))
+                   for bucket in stages.values())
+        misses = sum(int(bucket.get("misses", 0))
+                     for bucket in stages.values())
+        return {
+            "schema": SCHEMA,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "queue_depth": len(self._queue),
+            "jobs": self.state_counts(),
+            "stages": stages,
+            "cache": {"hits": hits, "misses": misses,
+                      "hit_rate": round(hits / (hits + misses), 4)
+                      if hits + misses else None},
+            "instructions": stats.instructions,
+        }
+
+    # -- execution ----------------------------------------------------
+
+    def _run_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._queue and not self._stopping:
+                    self._wake.wait(timeout=0.5)
+                if self._stopping:
+                    return
+                job = self._queue.popleft()
+            self._note_queue_depth()
+            if job.cancel_requested:
+                job.finish("cancelled", "cancelled while queued")
+                self._note_finished(job)
+                continue
+            try:
+                self._execute(job)
+            except Exception as error:  # a job bug must not kill the
+                # daemon: record it on the job and keep serving
+                job.finish("failed", "%s: %s"
+                           % (type(error).__name__, error))
+            self._note_finished(job)
+
+    def _execute(self, job: Job) -> None:
+        import contextlib
+
+        from repro.harness.runmeta import RunRecorder
+        from repro.obs import history as obs_history
+
+        job.state = "running"
+        job.queue_seconds = time.monotonic() - job._created_mono
+        started = time.monotonic()
+        spec = job.spec
+        collector = obs.get_collector()
+        recorder = RunRecorder(
+            argv=["service", job.job_id, spec["kind"]]
+            + _spec_units(spec),
+            engine_info=self.engine.describe())
+        passes_before = obs_history.kernel_pass_table(collector)
+        with contextlib.ExitStack() as stack:
+            if collector is not None:
+                stack.enter_context(collector.tracer.span(
+                    "service:job", id=job.job_id, kind=spec["kind"]))
+            for unit in _spec_units(spec):
+                if job.cancel_requested:
+                    job.wall_seconds = time.monotonic() - started
+                    job.finish("cancelled",
+                               "cancelled after %d of %d units"
+                               % (len(job.results),
+                                  len(_spec_units(spec))))
+                    return
+                self._execute_unit(job, unit, recorder, collector)
+        job.wall_seconds = time.monotonic() - started
+        if self.history:
+            self._append_history(job, recorder, collector,
+                                 passes_before)
+        job.finish("done")
+
+    def _execute_unit(self, job: Job, unit: str, recorder,
+                      collector) -> None:
+        """One experiment or run-table id through the exact CLI path;
+        the rendered text is the byte-identity contract."""
+        import contextlib
+
+        from repro.harness.experiments import RUN_TABLES, run_experiment
+        from repro.harness.runtable import RunTableExecutor, stats_tables
+
+        spec = job.spec
+        snapshot = self.engine.stats.snapshot()
+        started = time.monotonic()
+        with contextlib.ExitStack() as stack:
+            if collector is not None:
+                stack.enter_context(collector.tracer.span(
+                    "experiment", id=unit))
+            if spec["kind"] == "experiments":
+                experiment = run_experiment(unit,
+                                            scale=spec["scale"])
+            else:
+                table = RUN_TABLES[unit]
+                result = RunTableExecutor(
+                    table, scale=spec["scale"],
+                    repetitions=spec["reps"],
+                    engine=self.engine).run()
+                experiment = table.summarize(result)
+                if spec["reps"] > 1:
+                    experiment.tables.extend(
+                        stats_tables(result, spec["confidence"]))
+                recorder.record_table(unit, cells=table.n_cells(),
+                                      repetitions=spec["reps"],
+                                      seconds=result.seconds)
+        wall = time.monotonic() - started
+        stage_delta, instructions = \
+            self.engine.stats.delta_since(snapshot)
+        recorder.record(unit, wall, stage_delta, instructions)
+        job.results.append({
+            "id": unit,
+            "rendered": experiment.render(),
+            "wall_s": round(wall, 3),
+            "stages": stage_delta,
+        })
+
+    def _append_history(self, job: Job, recorder, collector,
+                        passes_before: Dict[str, Dict[str, float]]
+                        ) -> None:
+        """One obs-history record per job (the registry is
+        service-lifetime, so per-pass numbers are snapshot deltas)."""
+        from repro.obs import history as obs_history
+
+        passes = _pass_table_delta(
+            passes_before, obs_history.kernel_pass_table(collector))
+        try:
+            record = obs_history.make_record(
+                recorder.document(), passes,
+                scale=float(job.spec["scale"]))
+            obs_history.append_record(self.engine.config.cache_dir,
+                                      record)
+        except OSError:
+            obs.metrics().counter(
+                "repro_service_history_errors_total",
+                "job history appends that failed").inc()
+        else:
+            job.history_checksum = str(record["checksum"])
+
+    # -- bookkeeping --------------------------------------------------
+
+    def _note_queue_depth(self) -> None:
+        obs.metrics().gauge(
+            "repro_service_queue_depth",
+            "jobs waiting for the executor").set(len(self._queue))
+
+    def _note_finished(self, job: Job) -> None:
+        registry = obs.metrics()
+        registry.counter(
+            "repro_service_jobs_total", "jobs by final status",
+            kind=job.spec["kind"], status=job.state).inc()
+        registry.histogram(
+            "repro_service_job_seconds", "job execution wall time",
+            kind=job.spec["kind"]).observe(job.wall_seconds)
+        self._prune_finished()
+
+    def _prune_finished(self) -> None:
+        """Bound resident memory: drop the oldest finished jobs past
+        :data:`FINISHED_JOBS_KEPT` (queued/running jobs never)."""
+        finished = [job_id for job_id in self._order
+                    if job_id in self.jobs
+                    and self.jobs[job_id].done.is_set()]
+        excess = len(finished) - FINISHED_JOBS_KEPT
+        for job_id in finished[:max(excess, 0)]:
+            del self.jobs[job_id]
+            self._order.remove(job_id)
+
+
+def _pass_table_delta(before: Dict[str, Dict[str, float]],
+                      after: Dict[str, Dict[str, float]]
+                      ) -> Dict[str, Dict[str, float]]:
+    delta: Dict[str, Dict[str, float]] = {}
+    for name, bucket in after.items():
+        old = before.get(name) or {}
+        entry = {key: bucket.get(key, 0) - old.get(key, 0)
+                 for key in ("calls", "items", "seconds")}
+        if entry["calls"] or entry["items"] or entry["seconds"]:
+            delta[name] = entry
+    return delta
+
+
+# ---------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------
+
+
+class _UnixThreadingHTTPServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` over ``AF_UNIX`` (``server_address`` is
+    a filesystem path, so the TCP name/port resolution is skipped)."""
+
+    address_family = socket.AF_UNIX
+
+    def server_bind(self) -> None:
+        try:
+            os.unlink(self.server_address)
+        except OSError:
+            pass
+        socketserver.TCPServer.server_bind(self)
+        self.server_name = "unix"
+        self.server_port = 0
+
+
+class ServiceServer:
+    """The HTTP front end over one :class:`ExperimentService`.
+
+    Serves localhost TCP (``host``/``port``; port 0 = ephemeral) or a
+    UNIX socket (``socket_path``), threading so any number of clients
+    can poll while a job executes.  ``/metrics`` renders the live
+    merged registry — the same exposition the run-mode
+    ``--serve-metrics`` endpoint serves.
+    """
+
+    def __init__(self, service: ExperimentService,
+                 host: str = "127.0.0.1", port: int = 0,
+                 socket_path: Optional[str] = None):
+        self.service = service
+        self._host = host
+        self._requested_port = port
+        self._socket_path = socket_path
+        self._bound_port: Optional[int] = None
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> str:
+        """Bind and serve from a daemon thread; returns the base URL
+        (``http://host:port`` or ``unix://path``) with any ephemeral
+        port resolved — the only address ever advertised."""
+        if self._server is not None:
+            raise RuntimeError("service server is already running")
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # noqa: N802
+                pass  # request logs ride the metrics, not stderr
+
+            def do_GET(self) -> None:  # noqa: N802
+                outer._dispatch(self, "GET")
+
+            def do_POST(self) -> None:  # noqa: N802
+                outer._dispatch(self, "POST")
+
+            def do_DELETE(self) -> None:  # noqa: N802
+                outer._dispatch(self, "DELETE")
+
+        if self._socket_path is not None:
+            server: ThreadingHTTPServer = _UnixThreadingHTTPServer(
+                self._socket_path, Handler)
+        else:
+            server = ThreadingHTTPServer(
+                (self._host, self._requested_port), Handler)
+            self._bound_port = server.server_address[1]
+        server.daemon_threads = True
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-service-http", daemon=True)
+        self._thread.start()
+        return self.base_url
+
+    @property
+    def base_url(self) -> str:
+        if self._server is None:
+            raise RuntimeError("service server has no address before "
+                               "start()")
+        if self._socket_path is not None:
+            return "unix://%s" % self._socket_path
+        return "http://%s:%d" % (self._host, self._bound_port)
+
+    def stop(self) -> None:
+        server, self._server = self._server, None
+        self._bound_port = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._socket_path is not None:
+            try:
+                os.unlink(self._socket_path)
+            except OSError:
+                pass
+
+    # -- request handling ---------------------------------------------
+
+    def _dispatch(self, request: BaseHTTPRequestHandler,
+                  method: str) -> None:
+        path, _, query_text = request.path.partition("?")
+        query: Dict[str, str] = {}
+        for pair in query_text.split("&"):
+            key, _, value = pair.partition("=")
+            if key:
+                query[key] = value
+        try:
+            status, payload = self._route(request, method, path, query)
+        except ServiceError as error:
+            status, payload = error.status, {"error": error.message}
+        except Exception as error:  # handler bug ≠ dead daemon
+            status, payload = 500, {"error": "%s: %s"
+                                    % (type(error).__name__, error)}
+        obs.metrics().counter(
+            "repro_service_requests_total", "API requests by outcome",
+            method=method, status=str(status)).inc()
+        if isinstance(payload, tuple):  # (content_type, text)
+            content_type, text = payload
+            body = text.encode("utf-8")
+        else:
+            content_type = "application/json"
+            body = (json.dumps(payload, sort_keys=True)
+                    + "\n").encode("utf-8")
+        try:
+            request.send_response(status)
+            request.send_header("Content-Type", content_type)
+            request.send_header("Content-Length", str(len(body)))
+            request.end_headers()
+            request.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+
+    def _route(self, request: BaseHTTPRequestHandler, method: str,
+               path: str, query: Dict[str, str]):
+        service = self.service
+        if path == "/jobs" and method == "POST":
+            job = service.submit(_read_json_body(request))
+            return 201, {"job": job.document()}
+        if path == "/jobs" and method == "GET":
+            return 200, {"jobs": service.list_documents()}
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            if method == "DELETE" and not tail:
+                return 200, {"job": service.cancel(job_id).document()}
+            if method == "GET" and not tail:
+                job = service.job(job_id)
+                wait = query.get("wait")
+                if wait:
+                    try:
+                        seconds = min(float(wait), MAX_WAIT_SECONDS)
+                    except ValueError:
+                        raise ServiceError(
+                            400, "wait must be a number, got %r" % wait)
+                    job.done.wait(timeout=max(seconds, 0.0))
+                return 200, {"job": job.document(results=True)}
+            if method == "GET" and tail == "result":
+                job = service.job(job_id)
+                if job.state in ("queued", "running"):
+                    raise ServiceError(
+                        409, "job %s is still %s (poll "
+                        "/jobs/%s?wait=SEC)" % (job_id, job.state,
+                                                job_id))
+                if job.state != "done":
+                    raise ServiceError(500, "job %s %s: %s"
+                                       % (job_id, job.state, job.error))
+                return 200, ("text/plain; charset=utf-8",
+                             job.rendered_text())
+        if path == "/metrics" and method == "GET":
+            from repro.obs.serve import CONTENT_TYPE, collector_provider
+
+            return 200, (CONTENT_TYPE, collector_provider())
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok",
+                         "uptime_s": round(
+                             time.time() - service.started_at, 3),
+                         "queue_depth": len(service._queue),
+                         "jobs": service.state_counts()}
+        if path == "/stats" and method == "GET":
+            return 200, service.stats_document()
+        raise ServiceError(404, "no route for %s %s (try /jobs, "
+                           "/metrics, /healthz, /stats)"
+                           % (method, path))
+
+
+def _read_json_body(request: BaseHTTPRequestHandler) -> object:
+    try:
+        length = int(request.headers.get("Content-Length", "0"))
+    except ValueError:
+        raise ServiceError(400, "bad Content-Length")
+    if length <= 0:
+        raise ServiceError(400, "request body required")
+    body = request.rfile.read(length)
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        raise ServiceError(400, "request body is not valid JSON")
+
+
+# ---------------------------------------------------------------------
+# Client
+# ---------------------------------------------------------------------
+
+
+class _UnixHTTPConnection(HTTPConnection):
+    def __init__(self, path: str, timeout: float):
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self._path)
+        self.sock = sock
+
+
+class ServiceClient:
+    """A minimal stdlib client for the service API (tests, the load
+    generator, the CI smoke).  *target* is a base URL
+    (``http://host:port``) or a UNIX socket (``unix:///path``)."""
+
+    def __init__(self, target: str, timeout: float = 600.0):
+        self.target = target.rstrip("/")
+        self.timeout = timeout
+
+    def _connection(self) -> HTTPConnection:
+        if self.target.startswith("unix://"):
+            return _UnixHTTPConnection(self.target[len("unix://"):],
+                                       self.timeout)
+        if not self.target.startswith("http://"):
+            raise ValueError("target must be http://host:port or "
+                             "unix:///path, got %r" % self.target)
+        return HTTPConnection(self.target[len("http://"):],
+                              timeout=self.timeout)
+
+    def request(self, method: str, path: str,
+                body: Optional[object] = None
+                ) -> Tuple[int, str, bytes]:
+        """One request; returns (status, content-type, body bytes)."""
+        connection = self._connection()
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload,
+                               headers=headers)
+            response = connection.getresponse()
+            return (response.status,
+                    response.headers.get("Content-Type", ""),
+                    response.read())
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str,
+              body: Optional[object] = None,
+              expect: Tuple[int, ...] = (200,)) -> Dict[str, object]:
+        status, _, raw = self.request(method, path, body)
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except ValueError:
+            document = {"error": raw.decode("utf-8", "replace")}
+        if status not in expect:
+            raise ServiceError(status, str(document.get("error",
+                                                        document)))
+        return document
+
+    # -- operations ---------------------------------------------------
+
+    def submit(self, spec: Dict[str, object]) -> str:
+        document = self._json("POST", "/jobs", spec, expect=(201,))
+        return str(document["job"]["job_id"])
+
+    def job(self, job_id: str,
+            wait: Optional[float] = None) -> Dict[str, object]:
+        path = "/jobs/%s" % job_id
+        if wait is not None:
+            path += "?wait=%g" % wait
+        return dict(self._json("GET", path)["job"])
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll: float = 30.0) -> Dict[str, object]:
+        """Long-poll until the job leaves the queue/running states."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError("job %s still unfinished after %gs"
+                                   % (job_id, timeout))
+            document = self.job(job_id, wait=min(poll, remaining))
+            if document["state"] not in ("queued", "running"):
+                return document
+
+    def result_text(self, job_id: str) -> str:
+        status, _, raw = self.request("GET", "/jobs/%s/result" % job_id)
+        if status != 200:
+            raise ServiceError(status, raw.decode("utf-8", "replace"))
+        return raw.decode("utf-8")
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return list(self._json("GET", "/jobs")["jobs"])
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return dict(self._json("DELETE", "/jobs/%s" % job_id)["job"])
+
+    def metrics(self) -> str:
+        status, _, raw = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, raw.decode("utf-8", "replace"))
+        return raw.decode("utf-8")
+
+    def health(self) -> Dict[str, object]:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        return self._json("GET", "/stats")

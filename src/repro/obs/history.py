@@ -160,17 +160,42 @@ def make_record(run_doc: Dict[str, object],
     return record
 
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover (non-POSIX)
+    fcntl = None
+
+
 def append_record(cache_dir: str,
                   record: Dict[str, object]) -> str:
-    """Append one record to the run history; returns the path."""
+    """Append one record to the run history; returns the path.
+
+    Concurrent harness invocations (pool workers, the experiment
+    service, plain parallel CLI runs) share one ``history.jsonl``, so
+    the append must never interleave: the whole line goes down as a
+    single ``write(2)`` on an ``O_APPEND`` descriptor, under an
+    advisory ``flock`` where the platform has one.  A torn line would
+    not crash the loader — it silently drops *both* writers' records
+    from the trajectory — which is exactly why it must not happen.
+    """
     path = history_path(cache_dir)
     os.makedirs(os.path.dirname(path), exist_ok=True)
     if "checksum" not in record:
         record = dict(record)
         record["checksum"] = _checksum(record)
-    with open(path, "a") as stream:
-        stream.write(json.dumps(record, sort_keys=True,
-                                separators=(",", ":")) + "\n")
+    line = (json.dumps(record, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            os.write(fd, line)
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
     return path
 
 
@@ -275,11 +300,16 @@ def baseline_for(records: Sequence[Dict[str, object]],
 
 
 def render_history(records: Sequence[Dict[str, object]],
-                   last: Optional[int] = None) -> str:
+                   last: Optional[int] = None,
+                   skipped: int = 0) -> str:
     if last is not None:
         records = records[-last:]
     if not records:
-        return "no history recorded (run an experiment first)"
+        text = "no history recorded (run an experiment first)"
+        if skipped:
+            text += "\n%d corrupt line%s skipped" % (
+                skipped, "" if skipped == 1 else "s")
+        return text
     lines = ["%-22s %-19s %8s %9s %-8s %5s %s" %
              ("run id", "started", "wall(s)", "instrs", "backend",
               "jobs", "experiments")]
@@ -293,6 +323,11 @@ def render_history(records: Sequence[Dict[str, object]],
             int(record.get("instructions", 0)),
             config.get("backend", "?"), config.get("jobs", "?"),
             shown))
+    lines.append("%d record%s" % (len(records),
+                                  "" if len(records) == 1 else "s")
+                 + (", %d corrupt line%s skipped" %
+                    (skipped, "" if skipped == 1 else "s")
+                    if skipped else ""))
     return "\n".join(lines)
 
 

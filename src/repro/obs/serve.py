@@ -70,7 +70,14 @@ class MetricsServer:
         self._metrics_provider = metrics_provider
         self._health_provider = health_provider
         self._host = host
-        self._port = port
+        #: what the caller asked for — kept pristine so a
+        #: ``stop()`` → ``start()`` cycle re-binds from the request
+        #: (port 0 picks a *fresh* ephemeral port), never from a stale
+        #: resolved one that another process may hold by now
+        self._requested_port = port
+        #: the port actually bound, authoritative while serving;
+        #: ``None`` whenever the server is not running
+        self._bound_port: Optional[int] = None
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -79,6 +86,9 @@ class MetricsServer:
     def start(self) -> Tuple[str, int]:
         """Bind and serve from a daemon thread; returns (host, port)
         with the ephemeral port resolved."""
+        if self._server is not None:
+            raise RuntimeError("MetricsServer is already running on "
+                               "%s:%d" % (self._host, self._bound_port))
         outer = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -88,25 +98,36 @@ class MetricsServer:
             def do_GET(self) -> None:  # noqa: N802
                 outer._handle(self)
 
-        server = ThreadingHTTPServer((self._host, self._port), Handler)
+        server = ThreadingHTTPServer((self._host, self._requested_port),
+                                     Handler)
         server.daemon_threads = True
         self._server = server
         self._thread = threading.Thread(
             target=server.serve_forever, kwargs={"poll_interval": 0.1},
             name="repro-obs-serve", daemon=True)
         self._thread.start()
-        self._port = server.server_address[1]
-        return self._host, self._port
+        self._bound_port = server.server_address[1]
+        return self._host, self._bound_port
 
     @property
     def address(self) -> Tuple[str, int]:
-        return self._host, self._port
+        """(host, bound port); raises until :meth:`start` resolves the
+        bind — an unresolved ephemeral port (0) must never be
+        advertised as an endpoint."""
+        if self._bound_port is None:
+            raise RuntimeError(
+                "MetricsServer has no address before start() "
+                "(requested port %d is not an endpoint)"
+                % self._requested_port)
+        return self._host, self._bound_port
 
     def url(self, path: str = "/metrics") -> str:
-        return "http://%s:%d%s" % (self._host, self._port, path)
+        host, port = self.address
+        return "http://%s:%d%s" % (host, port, path)
 
     def stop(self) -> None:
         server, self._server = self._server, None
+        self._bound_port = None
         if server is not None:
             server.shutdown()
             server.server_close()

@@ -1,11 +1,19 @@
 """Hierarchical span tracing for the harness.
 
 A span is one timed unit of work (a whole run, one experiment, one
-engine stage execution, one cell) with a name, wall-clock duration,
-a parent, and free-form attributes (cache hit/miss, workload, config).
+engine stage execution, one cell) with a name, duration, a parent,
+and free-form attributes (cache hit/miss, workload, config).
 The tracer keeps an explicit stack, so ``with tracer.span(...)`` nests
 naturally, and engine stages that were timed elsewhere (pool workers,
 cached loads) can be attached after the fact with :meth:`SpanTracer.add`.
+
+All timing is monotonic: durations come from ``time.monotonic()``,
+and ``started_at`` wall-clock stamps are *derived* — one wall epoch is
+captured when the tracer is created and every span's start is the
+epoch plus its monotonic offset.  A wall-clock step (NTP, manual
+``date``) mid-run therefore cannot produce negative durations or
+reorder spans against each other; it merely offsets the whole tree's
+display timestamps by the epoch error.
 
 Spans serialize to JSONL (one object per line, ``spans.jsonl`` in the
 run's observability directory) and render as an indented tree with the
@@ -60,6 +68,15 @@ class SpanTracer:
         self.spans: List[Span] = []
         self._stack: List[int] = []
         self._next_id = 1
+        # The single wall-clock reading this tracer ever takes: every
+        # started_at is derived from it via monotonic offsets, so a
+        # clock step mid-run cannot skew durations or span ordering.
+        self._wall_epoch = time.time()
+        self._mono_epoch = time.monotonic()
+
+    def _wall_now(self) -> float:
+        """The current time on the tracer's steady wall clock."""
+        return self._wall_epoch + (time.monotonic() - self._mono_epoch)
 
     # -- recording ----------------------------------------------------
 
@@ -69,15 +86,15 @@ class SpanTracer:
         span_id = self._next_id
         self._next_id += 1
         parent = self._stack[-1] if self._stack else None
-        record = Span(span_id, parent, name, time.time(), 0.0,
+        record = Span(span_id, parent, name, self._wall_now(), 0.0,
                       dict(attrs))
         self.spans.append(record)
         self._stack.append(span_id)
-        started = time.perf_counter()
+        started = time.monotonic()
         try:
             yield record
         finally:
-            record.seconds = time.perf_counter() - started
+            record.seconds = time.monotonic() - started
             self._stack.pop()
 
     def add(self, name: str, seconds: float, parent_id=_CURRENT,
@@ -92,7 +109,7 @@ class SpanTracer:
         if parent_id is _CURRENT:
             parent_id = self._stack[-1] if self._stack else None
         record = Span(span_id, parent_id, name,
-                      time.time() - seconds, seconds, dict(attrs))
+                      self._wall_now() - seconds, seconds, dict(attrs))
         self.spans.append(record)
         return record
 

@@ -380,6 +380,105 @@ class TestHistory:
         assert "1 baseline record" in capsys.readouterr().out
 
 
+def _append_history_worker(cache: str, worker: int, count: int) -> None:
+    """Child-process body for the concurrent-append test (module level
+    so it survives both fork and spawn starts)."""
+    for index in range(count):
+        obs_history.append_record(
+            cache, _record("w%d-%03d" % (worker, index)))
+
+
+class TestConcurrentHistory:
+    def test_multiprocess_appends_drop_nothing(self, tmp_path):
+        """Many processes hammering one history.jsonl must produce
+        zero torn lines and zero lost records — the locked
+        single-write O_APPEND contract the experiment service and
+        parallel CLI runs rely on."""
+        import multiprocessing
+
+        cache = str(tmp_path)
+        workers, per_worker = 3, 25
+        context = multiprocessing.get_context()
+        processes = [
+            context.Process(target=_append_history_worker,
+                            args=(cache, worker, per_worker))
+            for worker in range(workers)]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        records, skipped = obs_history.load_history(
+            obs_history.history_path(cache))
+        assert skipped == 0
+        run_ids = [record["run_id"] for record in records]
+        assert len(run_ids) == workers * per_worker
+        assert len(set(run_ids)) == workers * per_worker
+
+    def test_cli_history_reports_corrupt_line_count(self, tmp_path,
+                                                    capsys):
+        from repro.harness.cli import main
+
+        cache = str(tmp_path / "cache")
+        path = obs_history.append_record(cache, _record("good"))
+        with open(path, "a") as stream:
+            stream.write('{"run_id": "torn", "wal\n')
+        assert main(["obs", "history", "--cache-dir", cache]) == 0
+        captured = capsys.readouterr()
+        assert "1 record, 1 corrupt line skipped" in captured.out
+        assert "skipped 1 corrupt history line" in captured.err
+
+
+# ---------------------------------------------------------------------
+# Monotonic span timing
+# ---------------------------------------------------------------------
+
+
+class TestMonotonicSpans:
+    def test_wall_clock_step_cannot_skew_spans(self, monkeypatch):
+        """An NTP-style wall-clock step mid-run must not reorder span
+        starts or corrupt durations: the tracer reads the wall clock
+        once at construction and derives everything else from the
+        monotonic clock."""
+        from repro.obs import spans as spans_module
+
+        fake = {"wall": 1_000_000.0, "mono": 50.0}
+        monkeypatch.setattr(spans_module.time, "time",
+                            lambda: fake["wall"])
+        monkeypatch.setattr(spans_module.time, "monotonic",
+                            lambda: fake["mono"])
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            fake["mono"] += 1.0
+            fake["wall"] -= 3600.0  # the clock steps back an hour
+            with tracer.span("inner"):
+                fake["mono"] += 2.0
+            fake["mono"] += 0.5
+        outer, inner = tracer.spans
+        assert outer.seconds == pytest.approx(3.5)
+        assert inner.seconds == pytest.approx(2.0)
+        # started_at stamps stay ordered and epoch-anchored even
+        # though time.time() now reads an hour earlier.
+        assert inner.started_at == pytest.approx(
+            outer.started_at + 1.0)
+        assert outer.started_at == pytest.approx(1_000_000.0)
+
+    def test_add_backdates_on_the_steady_clock(self, monkeypatch):
+        from repro.obs import spans as spans_module
+
+        fake = {"wall": 500.0, "mono": 10.0}
+        monkeypatch.setattr(spans_module.time, "time",
+                            lambda: fake["wall"])
+        monkeypatch.setattr(spans_module.time, "monotonic",
+                            lambda: fake["mono"])
+        tracer = SpanTracer()
+        fake["mono"] += 8.0
+        fake["wall"] += 9999.0  # a forward step changes nothing
+        record = tracer.add("post-hoc", seconds=3.0)
+        assert record.started_at == pytest.approx(500.0 + 8.0 - 3.0)
+        assert record.seconds == 3.0
+
+
 # ---------------------------------------------------------------------
 # Exposition lint
 # ---------------------------------------------------------------------
@@ -495,6 +594,40 @@ class TestMetricsServer:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 _get(server.url("/metrics"))
             assert excinfo.value.code == 500
+        finally:
+            server.stop()
+
+    def test_address_before_start_raises(self):
+        server = MetricsServer(lambda: "")
+        with pytest.raises(RuntimeError, match="before start"):
+            server.url()
+        with pytest.raises(RuntimeError, match="requested port 0"):
+            server.address
+
+    def test_double_start_raises(self):
+        server = MetricsServer(lambda: "")
+        try:
+            server.start()
+            with pytest.raises(RuntimeError, match="already running"):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_restart_rebinds_fresh_ephemeral_port(self):
+        """stop() → start() must re-resolve port 0, not advertise (or
+        try to rebind) the previous cycle's ephemeral port; between
+        cycles the server has no address at all."""
+        server = MetricsServer(lambda: "repro_up 1\n")
+        try:
+            host, first_port = server.start()
+            assert first_port > 0
+            server.stop()
+            with pytest.raises(RuntimeError, match="before start"):
+                server.address
+            host, second_port = server.start()
+            assert second_port > 0
+            status, _, body = _get(server.url("/metrics"))
+            assert status == 200 and "repro_up 1" in body
         finally:
             server.stop()
 

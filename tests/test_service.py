@@ -1,0 +1,325 @@
+"""The experiment service daemon (ISSUE 10): spec validation, the job
+lifecycle over HTTP, byte-identity with the CLI execution path,
+concurrent clients, cancellation, backpressure, the UNIX-socket
+transport, and per-job telemetry/history integration."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.harness import engine as engine_module
+from repro.harness.engine import Engine, EngineConfig
+from repro.harness.service import (
+    ExperimentService,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    validate_spec,
+)
+from repro.obs import history as obs_history
+
+SCALE = 0.3
+CHEAP = ["F1", "F3", "F9"]  # analysis-only: no timing simulation
+
+
+@pytest.fixture
+def stack(tmp_path):
+    """A started service + HTTP server + client over a private cache,
+    with telemetry on; restores the engine singleton afterwards."""
+    from repro.harness.runs import clear_cache
+
+    previous = engine_module.peek_engine()
+    obs.configure_obs(obs.ObsConfig())
+    clear_cache()  # earlier tests' suite memo would mask this engine
+    engine = Engine(EngineConfig(cache_dir=str(tmp_path), jobs=1))
+    service = ExperimentService(engine=engine, queue_limit=4)
+    server = ServiceServer(service)
+    service.start()
+    client = ServiceClient(server.start(), timeout=120.0)
+    yield service, server, client
+    server.stop()
+    service.stop()
+    obs.reset_obs()
+    if previous is not None:
+        engine_module.install(previous)
+    else:
+        engine_module.reset_engine()
+
+
+# ---------------------------------------------------------------------
+# Spec validation
+# ---------------------------------------------------------------------
+
+
+class TestSpecValidation:
+    def test_normalizes_and_defaults(self):
+        spec = validate_spec({"experiments": ["f1"]})
+        assert spec == {"kind": "experiments", "experiments": ["F1"],
+                        "scale": 1.0}
+        spec = validate_spec({"kind": "table", "tables": ["f5"]})
+        assert spec["reps"] == 1 and spec["confidence"] == 0.95
+
+    @pytest.mark.parametrize("raw, message", [
+        (["F1"], "must be a JSON object"),
+        ({"kind": "nope"}, "kind must be"),
+        ({"experiments": []}, "non-empty list"),
+        ({"experiments": ["XX"]}, "unknown experiment ids: XX"),
+        ({"experiments": ["F1"], "scale": -1}, "scale must be > 0"),
+        ({"experiments": ["F1"], "scale": "big"}, "must be a number"),
+        ({"kind": "table", "tables": ["XX"]}, "unknown run-table"),
+        ({"kind": "table", "tables": ["F5"], "reps": 0},
+         "reps must be a positive integer"),
+        ({"kind": "table", "tables": ["F5"], "confidence": 0.42},
+         "confidence must be one of"),
+    ])
+    def test_rejects_bad_specs(self, raw, message):
+        with pytest.raises(ServiceError, match=message) as excinfo:
+            validate_spec(raw)
+        assert excinfo.value.status == 400
+
+
+# ---------------------------------------------------------------------
+# Job lifecycle over HTTP
+# ---------------------------------------------------------------------
+
+
+class TestJobLifecycle:
+    def test_submit_wait_result_roundtrip(self, stack):
+        from repro.harness.experiments import run_experiment
+
+        service, server, client = stack
+        job_id = client.submit({"kind": "experiments",
+                                "experiments": ["F1"], "scale": SCALE})
+        doc = client.wait(job_id, timeout=120)
+        assert doc["state"] == "done"
+        assert doc["units_done"] == 1
+        assert doc["wall_s"] > 0
+        assert doc["results"][0]["id"] == "F1"
+        # The byte-identity contract: the service's rendered text is
+        # exactly what `repro-harness F1 --scale 0.3` prints per
+        # experiment (render + blank separator).
+        expected = run_experiment("F1", scale=SCALE).render() + "\n\n"
+        assert client.result_text(job_id) == expected
+        # The job appended one locked history record.
+        records, skipped = obs_history.load_history(
+            obs_history.history_path(service.engine.config.cache_dir))
+        assert skipped == 0 and len(records) == 1
+        assert records[0]["checksum"] == doc["history_checksum"]
+
+    def test_table_job_matches_cli_path(self, stack):
+        from repro.harness.experiments import RUN_TABLES
+        from repro.harness.runtable import RunTableExecutor
+
+        service, server, client = stack
+        job_id = client.submit({"kind": "table", "tables": ["F5"],
+                                "scale": SCALE})
+        doc = client.wait(job_id, timeout=120)
+        assert doc["state"] == "done"
+        table = RUN_TABLES["F5"]
+        expected = table.summarize(RunTableExecutor(
+            table, scale=SCALE, repetitions=1,
+            engine=service.engine).run()).render() + "\n\n"
+        assert client.result_text(job_id) == expected
+
+    def test_unknown_job_is_404(self, stack):
+        _, _, client = stack
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_result_of_unfinished_job_is_409(self, stack):
+        from repro.harness.service import Job
+
+        service, _, client = stack
+        service.jobs["job-block"] = Job(
+            "job-block", {"kind": "experiments",
+                          "experiments": ["F1"], "scale": SCALE})
+        status, _, body = client.request("GET",
+                                         "/jobs/job-block/result")
+        assert status == 409
+        assert b"still queued" in body
+        del service.jobs["job-block"]
+
+    def test_invalid_submission_is_400(self, stack):
+        _, _, client = stack
+        status, _, body = client.request("POST", "/jobs",
+                                         {"experiments": ["XX"]})
+        assert status == 400 and b"unknown experiment ids" in body
+        status, _, _ = client.request("POST", "/jobs")
+        assert status == 400
+
+    def test_unknown_route_is_404(self, stack):
+        _, _, client = stack
+        status, _, body = client.request("GET", "/nope")
+        assert status == 404 and b"/jobs" in body
+
+    def test_double_start_raises(self, stack):
+        service, server, _ = stack
+        with pytest.raises(RuntimeError, match="already running"):
+            service.start()
+        with pytest.raises(RuntimeError, match="already running"):
+            server.start()
+
+
+# ---------------------------------------------------------------------
+# Cancellation + backpressure
+# ---------------------------------------------------------------------
+
+
+class TestCancelAndBackpressure:
+    def test_cancel_queued_job(self, stack):
+        service, _, client = stack
+        # Park the executor on a real job, then cancel one behind it.
+        first = client.submit({"kind": "experiments",
+                               "experiments": CHEAP, "scale": SCALE})
+        queued = client.submit({"kind": "experiments",
+                                "experiments": ["F1"], "scale": SCALE})
+        doc = client.cancel(queued)
+        # Either it was still queued (cancelled immediately) or the
+        # executor already claimed it; both end in a terminal state.
+        doc = client.wait(queued, timeout=120)
+        assert doc["state"] in ("cancelled", "done")
+        assert client.wait(first, timeout=120)["state"] == "done"
+
+    def test_full_queue_rejects_with_503(self, tmp_path):
+        obs.reset_obs()
+        engine = Engine(EngineConfig(cache_dir=str(tmp_path)))
+        service = ExperimentService(engine=engine, queue_limit=1)
+        # Not started: nothing drains the queue, so the second
+        # submission must bounce.
+        service.submit({"experiments": ["F1"], "scale": SCALE})
+        with pytest.raises(ServiceError) as excinfo:
+            service.submit({"experiments": ["F1"], "scale": SCALE})
+        assert excinfo.value.status == 503
+        assert "queue is full" in excinfo.value.message
+
+    def test_stop_cancels_queued_jobs(self, tmp_path):
+        obs.reset_obs()
+        engine = Engine(EngineConfig(cache_dir=str(tmp_path)))
+        service = ExperimentService(engine=engine)
+        job = service.submit({"experiments": ["F1"], "scale": SCALE})
+        service.stop()
+        assert job.state == "cancelled"
+
+
+# ---------------------------------------------------------------------
+# Concurrency: parallel clients, byte-identical to serial CLI runs
+# ---------------------------------------------------------------------
+
+
+class TestConcurrentClients:
+    def test_three_clients_get_cli_identical_results(self, stack):
+        from repro.harness.experiments import run_experiment
+
+        service, server, client = stack
+        target = server.base_url
+        outputs = {}
+        errors = []
+
+        def one_client(identifier: str) -> None:
+            try:
+                own = ServiceClient(target, timeout=120.0)
+                job_id = own.submit({"kind": "experiments",
+                                     "experiments": [identifier],
+                                     "scale": SCALE})
+                doc = own.wait(job_id, timeout=120)
+                assert doc["state"] == "done", doc.get("error")
+                outputs[identifier] = own.result_text(job_id)
+            except Exception as error:  # surfaces in the main thread
+                errors.append("%s: %s" % (identifier, error))
+
+        threads = [threading.Thread(target=one_client, args=(name,))
+                   for name in CHEAP]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        # Byte-identity against the serial path, per experiment.
+        for identifier in CHEAP:
+            expected = run_experiment(
+                identifier, scale=SCALE).render() + "\n\n"
+            assert outputs[identifier] == expected
+        # Every job recorded: one history line each, none torn.
+        records, skipped = obs_history.load_history(
+            obs_history.history_path(service.engine.config.cache_dir))
+        assert skipped == 0 and len(records) == len(CHEAP)
+        # And the service's own telemetry counted them.
+        exposition = client.metrics()
+        done_lines = [line for line in exposition.splitlines()
+                      if line.startswith("repro_service_jobs_total")
+                      and 'status="done"' in line]
+        assert sum(float(line.rsplit(None, 1)[1])
+                   for line in done_lines) == len(CHEAP)
+
+    def test_health_and_stats_under_activity(self, stack):
+        service, _, client = stack
+        job_id = client.submit({"kind": "experiments",
+                                "experiments": ["F1"], "scale": SCALE})
+        health = client.health()
+        assert health["status"] == "ok"
+        assert set(health["jobs"]) == {"queued", "running", "done",
+                                       "failed", "cancelled"}
+        client.wait(job_id, timeout=120)
+        stats = client.stats()
+        assert stats["jobs"]["done"] >= 1
+        assert "compile" in stats["stages"]
+        assert stats["cache"]["hits"] + stats["cache"]["misses"] > 0
+
+
+# ---------------------------------------------------------------------
+# UNIX-socket transport
+# ---------------------------------------------------------------------
+
+
+class TestUnixSocket:
+    def test_jobs_over_unix_socket(self, tmp_path):
+        previous = engine_module.peek_engine()
+        obs.reset_obs()
+        engine = Engine(EngineConfig(cache_dir=str(tmp_path)))
+        service = ExperimentService(engine=engine, history=False)
+        socket_path = str(tmp_path / "service.sock")
+        server = ServiceServer(service, socket_path=socket_path)
+        service.start()
+        try:
+            url = server.start()
+            assert url == "unix://" + socket_path
+            client = ServiceClient(url, timeout=120.0)
+            job_id = client.submit({"kind": "experiments",
+                                    "experiments": ["F1"],
+                                    "scale": SCALE})
+            assert client.wait(job_id,
+                               timeout=120)["state"] == "done"
+            assert client.health()["status"] == "ok"
+        finally:
+            server.stop()
+            service.stop()
+            if previous is not None:
+                engine_module.install(previous)
+            else:
+                engine_module.reset_engine()
+        import os
+
+        assert not os.path.exists(socket_path)  # cleaned on stop
+
+
+# ---------------------------------------------------------------------
+# Engine singleton installation
+# ---------------------------------------------------------------------
+
+
+class TestInstall:
+    def test_install_makes_engine_the_singleton(self, tmp_path):
+        previous = engine_module.peek_engine()
+        engine = Engine(EngineConfig(cache_dir=str(tmp_path)))
+        try:
+            assert engine_module.install(engine) is engine
+            assert engine_module.get_engine() is engine
+        finally:
+            if previous is not None:
+                engine_module.install(previous)
+            else:
+                engine_module.reset_engine()
